@@ -1,0 +1,46 @@
+//! Criterion benches of the hardware models: the discrete-event offload
+//! pipeline and the end-to-end `memcpy_compressed` path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cdma_core::CdmaEngine;
+use cdma_gpusim::{OffloadSim, SystemConfig};
+use cdma_sparsity::ActivationGen;
+use cdma_tensor::{Layout, Shape4};
+
+fn bench_offload_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offload_sim");
+    let cfg = SystemConfig::titan_x_pcie3();
+    for ratio in [1.0, 2.6, 13.8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("r{ratio}")),
+            &ratio,
+            |b, &r| {
+                b.iter(|| black_box(OffloadSim::new(cfg).run_uniform(black_box(16 << 20), r)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_memcpy_compressed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memcpy_compressed");
+    let mut gen = ActivationGen::seeded(3);
+    let data = gen
+        .generate(Shape4::new(4, 32, 27, 27), Layout::Nchw, 0.35)
+        .into_vec();
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+    group.bench_function("zvc", |b| {
+        b.iter(|| black_box(engine.memcpy_compressed(black_box(&data))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_offload_sim, bench_memcpy_compressed
+);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Ablations of the cDMA design choices called out in DESIGN.md §5:
+//! compression window size, provisioned read bandwidth (COMP_BW), DMA
+//! buffer size, interconnect generation, and offload policy.
+
+use cdma_bench::{banner, f2, render_table};
+use cdma_compress::{windowed, Algorithm};
+use cdma_core::experiment;
+use cdma_gpusim::{OffloadSim, SystemConfig};
+use cdma_models::{profiles, zoo};
+use cdma_sparsity::ActivationGen;
+use cdma_tensor::{Layout, Shape4};
+use cdma_vdnn::{traffic, ComputeModel, CudnnVersion, RatioTable, StepSim, TransferPolicy};
+
+fn main() {
+    ablation_window();
+    ablation_comp_bw();
+    ablation_buffer();
+    ablation_link();
+    ablation_policy();
+}
+
+/// Window size: the paper reports results "did not change much" from 4 KB
+/// up to 64 KB.
+fn ablation_window() {
+    banner(
+        "Ablation: compression window size",
+        "Section VII-A: 4 KB default; up to 64 KB results did not change much",
+    );
+    let mut gen = ActivationGen::seeded(5);
+    let t = gen.generate(Shape4::new(4, 64, 27, 27), Layout::Nchw, 0.35);
+    let mut rows = Vec::new();
+    for kb in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut row = vec![format!("{kb} KB")];
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let stats = windowed::compress_stats(codec.as_ref(), t.as_slice(), kb * 1024);
+            row.push(f2(stats.ratio()));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&["window", "RL", "ZV", "ZL"], &rows));
+}
+
+/// COMP_BW sweep: how much DRAM read bandwidth must cDMA provision?
+fn ablation_comp_bw() {
+    banner(
+        "Ablation: provisioned compression read bandwidth (COMP_BW)",
+        "Section V-C: 200 GB/s reaps most of the benefit of sparse compression",
+    );
+    let table = RatioTable::build_fast(42);
+    let mut rows = Vec::new();
+    for comp_gb in [25.0, 50.0, 100.0, 150.0, 200.0, 236.0] {
+        let cfg = SystemConfig {
+            comp_bw: comp_gb * 1e9,
+            ..SystemConfig::titan_x_pcie3()
+        };
+        let h = experiment::headline(cfg, &table);
+        rows.push(vec![
+            format!("{comp_gb:.0} GB/s"),
+            format!("{:.1}%", h.avg_improvement * 100.0),
+            format!("{:.1}%", h.max_improvement * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["COMP_BW", "avg improvement", "max improvement"], &rows)
+    );
+}
+
+/// Buffer sweep through the discrete-event pipeline at the maximum
+/// observed ratio.
+fn ablation_buffer() {
+    banner(
+        "Ablation: DMA staging-buffer size",
+        "Section V-C: 70 KB (the 200 GB/s x 350 ns bandwidth-delay product) avoids stalls",
+    );
+    let mut rows = Vec::new();
+    for kb in [8usize, 16, 32, 48, 70, 128] {
+        let cfg = SystemConfig {
+            dma_buffer: kb * 1024,
+            ..SystemConfig::titan_x_pcie3()
+        };
+        let r = OffloadSim::new(cfg).run_uniform(32 << 20, 13.8);
+        rows.push(vec![
+            format!("{kb} KB"),
+            format!("{:.1} GB/s", r.effective_bw() / 1e9),
+            format!("{:.0}%", r.link_utilization() * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["buffer", "effective bw (13.8x data)", "link utilization"],
+            &rows
+        )
+    );
+}
+
+/// Interconnect generations and multi-GPU sharing (Section IX).
+fn ablation_link() {
+    banner(
+        "Ablation: interconnect (Section IX)",
+        "NVLink (80 GB/s) relieves the bottleneck, but 4-8 GPUs sharing it land back at 10-20 GB/s",
+    );
+    let table = RatioTable::build_fast(42);
+    let mut rows = Vec::new();
+    for (name, cfg) in [
+        ("PCIe gen3", SystemConfig::titan_x_pcie3()),
+        ("NVLink x1", SystemConfig::titan_x_nvlink()),
+        ("NVLink / 4 GPUs", SystemConfig::titan_x_nvlink().shared_link(4)),
+        ("NVLink / 8 GPUs", SystemConfig::titan_x_nvlink().shared_link(8)),
+    ] {
+        let h = experiment::headline(cfg, &table);
+        let sim = StepSim::new(cfg, ComputeModel::titan_x(CudnnVersion::V5));
+        let spec = zoo::squeezenet();
+        let vdnn_perf = sim.normalized_performance(&spec, TransferPolicy::uniform(&spec, 1.0));
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.1} GB/s", cfg.pcie_bw / 1e9),
+            f2(vdnn_perf),
+            format!("{:.1}%", h.avg_improvement * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["link", "bw", "vDNN perf (SqueezeNet)", "cDMA avg improvement"],
+            &rows
+        )
+    );
+}
+
+/// Offload-all vs conv-only policy.
+fn ablation_policy() {
+    banner(
+        "Ablation: offload policy",
+        "offload-all maximizes memory savings but moves more bytes; conv-only stalls less",
+    );
+    let cfg = SystemConfig::titan_x_pcie3();
+    let table = RatioTable::build_fast(42);
+    let sim = StepSim::new(cfg, ComputeModel::titan_x(CudnnVersion::V5));
+    let mut rows = Vec::new();
+    for spec in zoo::all_networks() {
+        let profile = profiles::density_profile(&spec);
+        let t = traffic::network_traffic(&spec, &profile, Algorithm::Zvc, Layout::Nchw, &table);
+        let ratios = traffic::per_layer_ratios(&t);
+        let all_plain = sim.normalized_performance(&spec, TransferPolicy::uniform(&spec, 1.0));
+        let conv_plain = sim.normalized_performance(
+            &spec,
+            TransferPolicy::OffloadConv(vec![1.0; spec.layers().len()]),
+        );
+        let all_zv =
+            sim.normalized_performance(&spec, TransferPolicy::OffloadAll(ratios.clone()));
+        let conv_zv = sim.normalized_performance(&spec, TransferPolicy::OffloadConv(ratios));
+        rows.push(vec![
+            spec.name().to_owned(),
+            f2(all_plain),
+            f2(conv_plain),
+            f2(all_zv),
+            f2(conv_zv),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["network", "all/vDNN", "conv/vDNN", "all/cDMA-ZV", "conv/cDMA-ZV"],
+            &rows
+        )
+    );
+}

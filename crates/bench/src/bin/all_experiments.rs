@@ -1,0 +1,23 @@
+//! Runs every table/figure reproduction in sequence — the one-shot
+//! regeneration entry point referenced from DESIGN.md and EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "fig02_timeline", "fig03", "fig04", "fig05", "fig06", "fig07", "fig11",
+        "fig12", "fig13", "overheads", "energy", "memory_usage", "footprint", "rnn_traffic", "training_run",
+        "ablations",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin directory");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n################ {bin} ################");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nall experiments regenerated.");
+}

@@ -1,0 +1,47 @@
+//! Section VII-C — energy-efficiency comparison of vDNN vs cDMA (the paper
+//! argues this qualitatively; we quantify it with a per-bit energy model).
+
+use cdma_bench::{banner, render_table};
+use cdma_compress::Algorithm;
+use cdma_gpusim::energy::EnergyModel;
+use cdma_models::{profiles, zoo};
+use cdma_tensor::Layout;
+use cdma_vdnn::{traffic, RatioTable};
+
+fn main() {
+    banner(
+        "Section VII-C: offload+prefetch round-trip energy, vDNN vs cDMA-ZV",
+        "PCIe + CPU-memory energy scale down with the 2.6x traffic reduction; GPU DRAM volume is unchanged",
+    );
+    let model = EnergyModel::default();
+    let table = RatioTable::build(42);
+    let mut rows = Vec::new();
+    let mut savings = Vec::new();
+    for spec in zoo::all_networks() {
+        let profile = profiles::density_profile(&spec);
+        let t = traffic::network_traffic(&spec, &profile, Algorithm::Zvc, Layout::Nchw, &table);
+        let bytes = t.stats.uncompressed_bytes;
+        let base = model.round_trip(bytes, 1.0);
+        let cdma = model.round_trip(bytes, t.avg_ratio());
+        let saving = model.savings_fraction(bytes, t.avg_ratio());
+        savings.push(saving);
+        rows.push(vec![
+            spec.name().to_owned(),
+            format!("{:.2}x", t.avg_ratio()),
+            format!("{:.2} J", base.total()),
+            format!("{:.2} J", cdma.total()),
+            format!("{:.1}%", saving * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["network", "ZV ratio", "vDNN energy/step", "cDMA energy/step", "saving"],
+            &rows
+        )
+    );
+    println!(
+        "average transfer-energy saving: {:.1}% (plus the 32% average runtime reduction lowers static energy further)",
+        savings.iter().sum::<f64>() / savings.len() as f64 * 100.0
+    );
+}

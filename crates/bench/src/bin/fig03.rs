@@ -1,0 +1,89 @@
+//! Fig. 3 — (a) speedups offered by cuDNN versions, (b) performance
+//! degradation incurred by vDNN per version.
+
+use cdma_bench::{banner, f2, render_table};
+use cdma_core::experiment;
+use cdma_gpusim::SystemConfig;
+use cdma_vdnn::CudnnVersion;
+
+fn main() {
+    let rows = experiment::fig03(SystemConfig::titan_x_pcie3());
+
+    banner(
+        "Figure 3(a): compute speedup over cuDNN v1",
+        "v5 offers an average 2.2x the performance of v1",
+    );
+    let networks: Vec<String> = {
+        let mut seen = Vec::new();
+        for r in &rows {
+            if !seen.contains(&r.network) {
+                seen.push(r.network.clone());
+            }
+        }
+        seen
+    };
+    let mut table = Vec::new();
+    for net in &networks {
+        let mut row = vec![net.clone()];
+        for v in CudnnVersion::ALL {
+            let r = rows
+                .iter()
+                .find(|r| &r.network == net && r.version == v)
+                .expect("complete grid");
+            row.push(f2(r.speedup_vs_v1));
+        }
+        table.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["network", "v1", "v2", "v3", "v4", "v5"], &table)
+    );
+    let avg_v5: f64 = networks
+        .iter()
+        .map(|net| {
+            rows.iter()
+                .find(|r| &r.network == net && r.version == CudnnVersion::V5)
+                .unwrap()
+                .speedup_vs_v1
+        })
+        .sum::<f64>()
+        / networks.len() as f64;
+    println!("measured average v5 speedup: {:.2}x (paper: 2.2x)", avg_v5);
+
+    banner(
+        "Figure 3(b): vDNN performance normalized to oracle, per cuDNN version",
+        "overheads grow with faster compute; v5 average loss ~31%, worst ~52%",
+    );
+    let mut table = Vec::new();
+    for net in &networks {
+        let mut row = vec![net.clone()];
+        for v in CudnnVersion::ALL {
+            let r = rows
+                .iter()
+                .find(|r| &r.network == net && r.version == v)
+                .expect("complete grid");
+            row.push(f2(r.vdnn_performance));
+        }
+        table.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["network", "v1", "v2", "v3", "v4", "v5"], &table)
+    );
+    let v5_perfs: Vec<f64> = networks
+        .iter()
+        .map(|net| {
+            rows.iter()
+                .find(|r| &r.network == net && r.version == CudnnVersion::V5)
+                .unwrap()
+                .vdnn_performance
+        })
+        .collect();
+    let avg_loss = 1.0 - v5_perfs.iter().sum::<f64>() / v5_perfs.len() as f64;
+    let worst_loss = 1.0 - v5_perfs.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "measured v5: average loss {:.1}% (paper 31%), worst {:.1}% (paper 52%)",
+        avg_loss * 100.0,
+        worst_loss * 100.0
+    );
+}

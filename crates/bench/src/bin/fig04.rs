@@ -1,0 +1,37 @@
+//! Fig. 4 — average activation density of each AlexNet layer over training.
+
+use cdma_bench::{banner, render_table};
+use cdma_core::experiment;
+use cdma_models::zoo;
+use cdma_sparsity::visual::density_bar;
+
+fn main() {
+    banner(
+        "Figure 4: AlexNet per-layer activation density over training",
+        "dark-to-light per layer; conv0 pinned near 50%, pools denser, deep layers sparser, U-curve over time",
+    );
+    let fig = experiment::density_figure(&zoo::alexnet());
+    let mut headers: Vec<String> = vec!["layer".into()];
+    headers.extend(fig.checkpoints.iter().map(|t| format!("{:.0}%", t * 100.0)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = fig
+        .layers
+        .iter()
+        .map(|(name, ds)| {
+            let mut row = vec![name.clone()];
+            row.extend(ds.iter().map(|d| format!("{d:.2}")));
+            row
+        })
+        .collect();
+    println!("{}", render_table(&header_refs, &rows));
+
+    println!("final (100% trained) density per layer:");
+    for (name, ds) in &fig.layers {
+        let d = *ds.last().expect("non-empty");
+        println!("  {name:<8} {:>5.2} {}", d, density_bar(d, 40));
+    }
+    println!(
+        "\nnetwork-wide mean density over training: {:.3} (paper: 0.506, i.e. 49.4% sparsity)",
+        cdma_models::profiles::density_profile(&zoo::alexnet()).mean_network_density()
+    );
+}

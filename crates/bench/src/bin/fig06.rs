@@ -1,0 +1,56 @@
+//! Fig. 6 — per-layer activation density over training for OverFeat, NiN,
+//! VGG, SqueezeNet and GoogLeNet.
+
+use cdma_bench::{banner, render_table};
+use cdma_core::experiment;
+use cdma_models::{profiles, zoo};
+
+fn main() {
+    banner(
+        "Figure 6: per-layer density over training (the other five networks)",
+        "same qualitative structure as AlexNet: dips early, partial recovery, deeper = sparser",
+    );
+    for spec in [
+        zoo::overfeat(),
+        zoo::nin(),
+        zoo::vgg(),
+        zoo::squeezenet(),
+        zoo::googlenet(),
+    ] {
+        let fig = experiment::density_figure(&spec);
+        println!("--- {} ---", fig.network);
+        let mut headers: Vec<String> = vec!["layer".into()];
+        headers.extend(
+            fig.checkpoints
+                .iter()
+                .step_by(2)
+                .map(|t| format!("{:.0}%", t * 100.0)),
+        );
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = fig
+            .layers
+            .iter()
+            .map(|(name, ds)| {
+                let mut row = vec![name.clone()];
+                row.extend(ds.iter().step_by(2).map(|d| format!("{d:.2}")));
+                row
+            })
+            .collect();
+        println!("{}", render_table(&header_refs, &rows));
+        let profile = profiles::density_profile(&spec);
+        println!(
+            "network mean density over training: {:.3} (sparsity {:.1}%)\n",
+            profile.mean_network_density(),
+            (1.0 - profile.mean_network_density()) * 100.0
+        );
+    }
+    let mean: f64 = zoo::all_networks()
+        .iter()
+        .map(|s| profiles::density_profile(s).mean_network_density())
+        .sum::<f64>()
+        / 6.0;
+    println!(
+        "average network-wide sparsity across all six networks: {:.1}% (paper: 62%)",
+        (1.0 - mean) * 100.0
+    );
+}

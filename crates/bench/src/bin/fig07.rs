@@ -1,0 +1,38 @@
+//! Fig. 7 — training loss and AlexNet conv-layer densities vs training
+//! time, rendered as an ASCII chart plus the raw series.
+
+use cdma_bench::{banner, render_table};
+use cdma_core::experiment;
+
+fn main() {
+    banner(
+        "Figure 7: loss value (left axis) and conv densities (right axis) vs training",
+        "density dips while the loss collapses, then partially recovers",
+    );
+    let f = experiment::fig07();
+
+    let mut headers = vec!["t".to_owned(), "loss".to_owned()];
+    headers.extend(f.conv_densities.iter().map(|(n, _)| n.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (i, t) in f.checkpoints.iter().enumerate() {
+        let mut row = vec![format!("{:.2}", t), format!("{:.2}", f.loss[i])];
+        for (_, ds) in &f.conv_densities {
+            row.push(format!("{:.3}", ds[i]));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&header_refs, &rows));
+
+    // ASCII chart: loss '*' on a 2..7 axis, conv2 density '#' on 0..1.
+    println!("loss (*) scaled 2..7  |  conv2 density (#) scaled 0..1");
+    let conv2 = &f.conv_densities[1].1;
+    for (i, t) in f.checkpoints.iter().enumerate() {
+        let loss_col = (((f.loss[i] - 2.0) / 5.0) * 50.0).round() as usize;
+        let dens_col = (conv2[i] * 50.0).round() as usize;
+        let mut line = vec![b' '; 52];
+        line[loss_col.min(51)] = b'*';
+        line[dens_col.min(51)] = if dens_col == loss_col { b'@' } else { b'#' };
+        println!("{:>4.0}% |{}", t * 100.0, String::from_utf8(line).expect("ascii"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Fig. 11 — average and maximum compression ratio per algorithm (RL, ZV,
+//! ZL) and activation layout (NCHW, NHWC, CHWN) across all six networks.
+
+use cdma_bench::{banner, f2, render_table};
+use cdma_compress::Algorithm;
+use cdma_core::experiment;
+use cdma_tensor::Layout;
+use cdma_vdnn::RatioTable;
+
+fn main() {
+    banner(
+        "Figure 11: avg (network) and max (layer) compression ratios",
+        "ZVC ~2.6x average, layout-insensitive; RLE/zlib prefer NCHW; max per-layer 13.8x",
+    );
+    let table = RatioTable::build(42);
+    let rows = experiment::fig11(&table);
+
+    for layout in Layout::ALL {
+        println!("--- layout {layout} ---");
+        let mut t = Vec::new();
+        let mut networks = Vec::new();
+        for r in &rows {
+            if !networks.contains(&r.network) {
+                networks.push(r.network.clone());
+            }
+        }
+        for net in &networks {
+            let mut row = vec![net.clone()];
+            for alg in Algorithm::ALL {
+                let r = rows
+                    .iter()
+                    .find(|r| &r.network == net && r.layout == layout && r.algorithm == alg)
+                    .expect("complete grid");
+                row.push(format!("{} / {}", f2(r.avg_ratio), f2(r.max_ratio)));
+            }
+            t.push(row);
+        }
+        println!(
+            "{}",
+            render_table(&["network", "RL avg/max", "ZV avg/max", "ZL avg/max"], &t)
+        );
+    }
+
+    // Headline aggregates for NCHW / ZV.
+    let zv_nchw: Vec<&experiment::Fig11Row> = rows
+        .iter()
+        .filter(|r| r.layout == Layout::Nchw && r.algorithm == Algorithm::Zvc)
+        .collect();
+    let avg = zv_nchw.iter().map(|r| r.avg_ratio).sum::<f64>() / zv_nchw.len() as f64;
+    let max = zv_nchw.iter().map(|r| r.max_ratio).fold(0.0, f64::max);
+    println!(
+        "ZV (NCHW): average network ratio {avg:.2}x (paper 2.6x), max per-layer {max:.1}x (paper 13.8x)"
+    );
+}

@@ -1,0 +1,60 @@
+//! Fig. 12 — size of activation maps offloaded to CPU memory, normalized
+//! to uncompressed vDNN.
+
+use cdma_bench::{banner, f2, render_table};
+use cdma_compress::Algorithm;
+use cdma_core::experiment;
+use cdma_vdnn::RatioTable;
+
+fn main() {
+    banner(
+        "Figure 12: offload size normalized to vDNN (lower is better)",
+        "ZV averages ~0.38 of vDNN traffic; zlib only ~3% better overall",
+    );
+    let table = RatioTable::build(42);
+    let rows = experiment::fig12(&table);
+
+    let mut networks = Vec::new();
+    for r in &rows {
+        if !networks.contains(&r.network) {
+            networks.push(r.network.clone());
+        }
+    }
+    let mut t = Vec::new();
+    for net in &networks {
+        let mut row = vec![net.clone(), "1.00".to_owned()];
+        for alg in Algorithm::ALL {
+            let r = rows
+                .iter()
+                .find(|r| &r.network == net && r.algorithm == alg)
+                .expect("complete grid");
+            row.push(f2(r.normalized_offload));
+        }
+        t.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["network", "vDNN", "RL", "ZV", "ZL"], &t)
+    );
+
+    let avg = |alg: Algorithm| -> f64 {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.algorithm == alg)
+            .map(|r| r.normalized_offload)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let zv = avg(Algorithm::Zvc);
+    let zl = avg(Algorithm::Zlib);
+    println!(
+        "average normalized offload: RL {:.2}, ZV {:.2}, ZL {:.2}",
+        avg(Algorithm::Rle),
+        zv,
+        zl
+    );
+    println!(
+        "zlib's extra reduction over ZVC: {:.1}% (paper: ~3% average)",
+        (zv - zl) / zv * 100.0
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 13 — overall performance normalized to the oracle baseline:
+//! vDNN vs cDMA (RL / ZV / ZL) vs oracle, per network.
+
+use cdma_bench::{banner, f2, render_table};
+use cdma_compress::Algorithm;
+use cdma_core::experiment::{self, PerfConfig};
+use cdma_gpusim::SystemConfig;
+use cdma_vdnn::RatioTable;
+
+fn main() {
+    banner(
+        "Figure 13: performance normalized to oracle (higher is better)",
+        "cDMA-ZV improves vDNN by 32% on average (max 61%); zlib adds only ~0.7%",
+    );
+    let cfg = SystemConfig::titan_x_pcie3();
+    let table = RatioTable::build(42);
+    let rows = experiment::fig13(cfg, &table);
+
+    let configs = [
+        PerfConfig::Vdnn,
+        PerfConfig::Cdma(Algorithm::Rle),
+        PerfConfig::Cdma(Algorithm::Zvc),
+        PerfConfig::Cdma(Algorithm::Zlib),
+        PerfConfig::Oracle,
+    ];
+    let mut networks = Vec::new();
+    for r in &rows {
+        if !networks.contains(&r.network) {
+            networks.push(r.network.clone());
+        }
+    }
+    let mut t = Vec::new();
+    for net in &networks {
+        let mut row = vec![net.clone()];
+        for c in configs {
+            let r = rows
+                .iter()
+                .find(|r| &r.network == net && r.config == c)
+                .expect("complete grid");
+            row.push(f2(r.performance));
+        }
+        t.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["network", "vDNN", "RL", "ZV", "ZL", "orac"], &t)
+    );
+
+    let h = experiment::headline(cfg, &table);
+    println!("cDMA-ZV improvement over vDNN:");
+    println!(
+        "  average {:.1}% (paper 32%), maximum {:.1}% (paper 61%)",
+        h.avg_improvement * 100.0,
+        h.max_improvement * 100.0
+    );
+    // The marginal value of zlib over ZVC (Section VII-B).
+    let zl_over_zv: Vec<f64> = networks
+        .iter()
+        .map(|net| {
+            let zv = rows
+                .iter()
+                .find(|r| &r.network == net && r.config == PerfConfig::Cdma(Algorithm::Zvc))
+                .unwrap()
+                .performance;
+            let zl = rows
+                .iter()
+                .find(|r| &r.network == net && r.config == PerfConfig::Cdma(Algorithm::Zlib))
+                .unwrap()
+                .performance;
+            zl / zv - 1.0
+        })
+        .collect();
+    let avg_zl = zl_over_zv.iter().sum::<f64>() / zl_over_zv.len() as f64;
+    let max_zl = zl_over_zv.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "  zlib speedup over ZVC: average {:.1}% (paper 0.7%), max {:.1}% (paper 2.2%)",
+        avg_zl * 100.0,
+        max_zl * 100.0
+    );
+}

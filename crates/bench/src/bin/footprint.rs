@@ -1,0 +1,47 @@
+//! Section IX extension: compressed in-GPU-DRAM activation storage — the
+//! capacity savings and read-amplification of the sector-table addressing
+//! scheme implemented in `cdma_gpusim::dram_store`.
+
+use cdma_bench::{banner, pct, render_table};
+use cdma_gpusim::dram_store::CompressedDramStore;
+use cdma_models::{profiles, zoo};
+use cdma_sparsity::ActivationGen;
+use cdma_tensor::{Layout, Shape4};
+
+fn main() {
+    banner(
+        "Section IX: storing activations ZVC-compressed inside GPU DRAM",
+        "future-work sketch in the paper; line table = 8 B per 128 B line (6.25% overhead)",
+    );
+    let mut rows = Vec::new();
+    for spec in zoo::all_networks() {
+        let profile = profiles::density_profile(&spec);
+        // Representative mid-training density, on a scaled-down tensor with
+        // the network's own statistics.
+        let density = profile.network_density_at(0.5);
+        let mut gen = ActivationGen::seeded(31);
+        let t = gen.generate(Shape4::new(2, 32, 27, 27), Layout::Nchw, density);
+        let store = CompressedDramStore::store(t.as_slice());
+        let stats = store.stats();
+        assert_eq!(store.load(), t.as_slice(), "lossless store");
+        let dense_line_sectors = store.line_read_sectors(0);
+        rows.push(vec![
+            spec.name().to_owned(),
+            format!("{density:.2}"),
+            pct(stats.savings()),
+            format!(
+                "{:.1}%",
+                stats.table_bytes as f64 / stats.logical_bytes as f64 * 100.0
+            ),
+            format!("{dense_line_sectors} sectors"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["network", "density@50%", "capacity saving", "table overhead", "line-0 read cost"],
+            &rows
+        )
+    );
+    println!("a random 128 B line read costs 1 table sector + popcount(mask) data sectors.");
+}

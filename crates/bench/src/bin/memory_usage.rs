@@ -1,0 +1,34 @@
+//! GPU memory-footprint accounting: the Section III motivation ("activation
+//! maps occupy more than 90% of the GPU-side memory allocations") and the
+//! memory-scalability vDNN provides.
+
+use cdma_bench::{banner, pct, render_table};
+use cdma_models::zoo;
+use cdma_vdnn::memory;
+
+fn main() {
+    banner(
+        "GPU memory footprint per training step (weights + optimizer + activations)",
+        "Section III: activations dominate; vDNN offloading reclaims them",
+    );
+    let mut rows = Vec::new();
+    for spec in zoo::all_networks() {
+        let base = memory::baseline_footprint(&spec);
+        let vdnn = memory::vdnn_footprint(&spec);
+        rows.push(vec![
+            spec.name().to_owned(),
+            format!("{:.2} GB", base.total() as f64 / 1e9),
+            pct(base.activation_fraction()),
+            format!("{:.2} GB", vdnn.total() as f64 / 1e9),
+            pct(memory::vdnn_savings(&spec)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["network", "baseline", "activations", "vDNN", "saving"],
+            &rows
+        )
+    );
+    println!("note: workspace buffers (cuDNN scratch) are not modelled; real footprints are larger.");
+}

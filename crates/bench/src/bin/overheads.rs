@@ -1,0 +1,75 @@
+//! Section V-C — cDMA design overheads: (de)compression unit area, DMA
+//! buffer sizing, and the resulting die fraction.
+
+use cdma_bench::{banner, render_table};
+use cdma_gpusim::area::AreaModel;
+use cdma_gpusim::{SystemConfig, ZvcEngine};
+
+fn main() {
+    banner(
+        "Section V-C: design overheads",
+        "6 engines: 0.31 mm²; 70 KB buffer: 0.21 mm²; negligible vs 600 mm² die",
+    );
+    let cfg = SystemConfig::titan_x_pcie3();
+    let area = AreaModel::default();
+    let engines = cfg.mem_controllers;
+    let buffer_kb = cfg.dma_buffer as f64 / 1024.0;
+
+    let rows = vec![
+        vec![
+            "(de)compression units".to_owned(),
+            format!("{engines} x {:.4} mm²", area.engines_mm2(1)),
+            format!("{:.2} mm²", area.engines_mm2(engines)),
+            "0.31 mm²".to_owned(),
+        ],
+        vec![
+            "DMA staging buffer".to_owned(),
+            format!("{buffer_kb:.0} KB SRAM"),
+            format!("{:.2} mm²", area.buffer_mm2(buffer_kb)),
+            "0.21 mm²".to_owned(),
+        ],
+        vec![
+            "total".to_owned(),
+            String::new(),
+            format!("{:.2} mm²", area.total_mm2(engines, buffer_kb)),
+            "~0.52 mm²".to_owned(),
+        ],
+        vec![
+            "die fraction".to_owned(),
+            format!("vs {:.0} mm²", area.die_area),
+            format!("{:.3}%", area.die_fraction(engines, buffer_kb) * 100.0),
+            "negligible".to_owned(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["component", "sizing", "measured", "paper"], &rows)
+    );
+
+    banner("Buffer sizing: bandwidth-delay product", "200 GB/s x 350 ns = 70 KB");
+    println!(
+        "usable COMP_BW {:.0} GB/s x memory latency {:.0} ns = {:.1} KB (buffer: {:.0} KB)",
+        cfg.usable_comp_bw() / 1e9,
+        cfg.mem_latency * 1e9,
+        cfg.bandwidth_delay_bytes() / 1024.0,
+        cfg.dma_buffer as f64 / 1024.0
+    );
+
+    banner(
+        "Engine pipeline (Fig. 10)",
+        "compress 128 B in 6 cycles (3-stage, 32 B/cycle); decompress +2 cycles",
+    );
+    let engine = ZvcEngine::new(cfg.engine_clock);
+    println!(
+        "compress 128 B: {} cycles; decompress 128 B: {} cycles",
+        engine.compress_cycles(128),
+        engine.decompress_cycles(128)
+    );
+    println!(
+        "per-engine throughput {:.1} GB/s; {} engines aggregate {:.1} GB/s (provisioned COMP_BW: {:.0} GB/s)",
+        engine.throughput() / 1e9,
+        engines,
+        engine.aggregate_throughput(engines) / 1e9,
+        cfg.comp_bw / 1e9
+    );
+}

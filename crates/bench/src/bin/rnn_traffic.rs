@@ -1,0 +1,45 @@
+//! Section III boundary claim: cDMA helps ReLU RNNs (Deep-Speech-style
+//! GEMV stacks) but not LSTM/GRU (saturating activations).
+
+use cdma_bench::{banner, f2, render_table};
+use cdma_compress::Algorithm;
+use cdma_models::rnn::{self, RnnActivation};
+use cdma_tensor::Layout;
+use cdma_vdnn::RatioTable;
+
+fn main() {
+    banner(
+        "RNN offload traffic: ReLU recurrence vs saturating (LSTM/GRU-like) gates",
+        "\"equally applicable for ... GEMV-based RNNs\"; \"less well-suited for RNNs based on LSTMs or GRUs\"",
+    );
+    let table = RatioTable::build_fast(42);
+    let mut rows = Vec::new();
+    for act in [RnnActivation::Relu, RnnActivation::Saturating] {
+        let spec = rnn::rnn_spec("DeepSpeechRNN", 5, 50, 1760, 64, act);
+        let traj = rnn::rnn_trajectory(act);
+        let bytes = rnn::bptt_activation_bytes(&spec);
+        // Average ZVC ratio over training for this activation family.
+        let mut inv = 0.0;
+        let n = 9;
+        for k in 0..n {
+            let t = (k as f64 + 0.5) / n as f64;
+            inv += 1.0 / table.ratio(Algorithm::Zvc, Layout::Nchw, traj.density_at(t));
+        }
+        let ratio = n as f64 / inv;
+        rows.push(vec![
+            format!("{act:?}"),
+            format!("{:.0} MB", bytes as f64 / 1e6),
+            f2(traj.mean_density()),
+            format!("{}x", f2(ratio)),
+            format!("{:.0} MB", bytes as f64 / ratio / 1e6),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["recurrence", "BPTT acts/step", "mean density", "ZVC ratio", "on-wire"],
+            &rows
+        )
+    );
+    println!("ReLU recurrences compress ~3x; saturating gates gain nothing (ZVC mask pure overhead).");
+}

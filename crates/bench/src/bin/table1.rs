@@ -1,0 +1,69 @@
+//! Table I — networks and trained model accuracy (paper constants), plus
+//! the measured accuracy of our trainable tiny counterparts on the
+//! synthetic task (this repository cannot train ImageNet; see DESIGN.md).
+
+use cdma_bench::{banner, render_table};
+use cdma_dnn::synthetic::SyntheticImages;
+use cdma_dnn::{Sgd, Trainer};
+use cdma_models::{tiny, zoo};
+
+fn main() {
+    banner(
+        "Table I: networks and trained model accuracy",
+        "accuracy/batch/iterations as published; right columns are architecture facts from our specs",
+    );
+    let nets = zoo::all_networks();
+    let rows: Vec<Vec<String>> = zoo::TABLE_ONE
+        .iter()
+        .zip(&nets)
+        .map(|(row, spec)| {
+            vec![
+                row.network.to_owned(),
+                format!("{:.1} / {:.1}", row.top1, row.top5),
+                row.batch.to_string(),
+                format!("{}K", row.trained_kiter),
+                spec.layers().len().to_string(),
+                format!(
+                    "{:.1} GB",
+                    spec.total_activation_bytes() as f64 / 1e9
+                ),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["network", "top-1/top-5 (%)", "batch", "iters", "layers", "acts/step"],
+            &rows
+        )
+    );
+
+    banner(
+        "Trainable counterparts (synthetic 4-class task, CPU)",
+        "demonstrates real training through the cdma-dnn substrate",
+    );
+    let mut results = Vec::new();
+    for (name, net) in [
+        ("tiny-alexnet", tiny::tiny_alexnet(4, 7)),
+        ("tiny-googlenet", tiny::tiny_googlenet(4, 7)),
+    ] {
+        let mut data = SyntheticImages::new(4, 1, 16, 21);
+        let mut trainer = Trainer::new(net, Sgd::new(0.03, 0.9, 1e-4));
+        for _ in 0..300 {
+            let (x, y) = data.batch(16);
+            let _ = trainer.train_step(&x, &y);
+        }
+        let (test_x, test_y) = data.batch(128);
+        let (loss, acc) = trainer.evaluate(&test_x, &test_y);
+        results.push(vec![
+            name.to_owned(),
+            format!("{:.1}%", acc * 100.0),
+            format!("{loss:.3}"),
+            "300 x 16".to_owned(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["network", "top-1", "loss", "steps"], &results)
+    );
+}

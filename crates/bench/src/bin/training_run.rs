@@ -1,0 +1,40 @@
+//! Whole-training-run projection: Table I's iteration counts priced with
+//! per-checkpoint step times, integrating the U-curve's evolving sparsity
+//! over the run (cDMA is fastest exactly when the network is sparsest).
+
+use cdma_bench::{banner, f2, render_table};
+use cdma_core::experiment;
+use cdma_gpusim::SystemConfig;
+use cdma_vdnn::RatioTable;
+
+fn main() {
+    banner(
+        "Projected end-to-end training time (Table I iterations, cuDNN v5)",
+        "derived projection; the paper reports per-iteration results only",
+    );
+    let table = RatioTable::build(42);
+    let runs = experiment::training_runs(SystemConfig::titan_x_pcie3(), &table);
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.clone(),
+                format!("{}K", r.iterations / 1000),
+                format!("{:.1} h", r.oracle_hours),
+                format!("{:.1} h", r.vdnn_hours),
+                format!("{:.1} h", r.cdma_hours),
+                format!("{}x", f2(r.cdma_speedup())),
+                format!("{:.1} d", r.days_saved()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["network", "iters", "oracle", "vDNN", "cDMA-ZV", "speedup", "saved"],
+            &rows
+        )
+    );
+    let total_saved: f64 = runs.iter().map(|r| r.days_saved()).sum();
+    println!("total GPU-days saved across the six training runs: {total_saved:.1}");
+}

@@ -1,0 +1,141 @@
+use std::fmt;
+
+use crate::{DecodeError, Rle, Zlib, Zvc};
+
+/// A lossless activation-map compressor, as evaluated in Section V of the
+/// cDMA paper.
+///
+/// Implementations operate on 32-bit activation words (`f32`) because that is
+/// the data type of the offloaded activation maps; losslessness is bit-exact
+/// (`-0.0`, denormals and NaN payloads survive).
+pub trait Compressor {
+    /// Two-letter name used in the paper's figures: `RL`, `ZV` or `ZL`.
+    fn name(&self) -> &'static str;
+
+    /// Compresses `data` into a self-contained byte stream.
+    fn compress(&self, data: &[f32]) -> Vec<u8>;
+
+    /// Decompresses a stream produced by [`Compressor::compress`].
+    ///
+    /// `element_count` is the number of `f32` words originally compressed;
+    /// like a real DMA descriptor, the transfer length is metadata carried
+    /// outside the compressed payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the stream is truncated, corrupt, or
+    /// disagrees with `element_count`.
+    fn decompress(&self, bytes: &[u8], element_count: usize) -> Result<Vec<f32>, DecodeError>;
+
+    /// Compressed size in bytes without keeping the stream. The default
+    /// materializes the compressed buffer; codecs with an analytic size
+    /// (ZVC) override this.
+    fn compressed_size(&self, data: &[f32]) -> usize {
+        self.compress(data).len()
+    }
+
+    /// Achieved compression ratio on `data` (uncompressed / compressed).
+    /// An incompressible input yields a ratio below 1.0 (format overhead).
+    fn ratio(&self, data: &[f32]) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        (data.len() * 4) as f64 / self.compressed_size(data) as f64
+    }
+}
+
+/// Algorithm selector covering the paper's three candidates.
+///
+/// ```
+/// use cdma_compress::{Algorithm, Compressor};
+/// let data = vec![0.0f32; 64];
+/// for alg in Algorithm::ALL {
+///     let codec = alg.codec();
+///     let bytes = codec.compress(&data);
+///     assert_eq!(codec.decompress(&bytes, 64).unwrap(), data);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Algorithm {
+    /// Run-length encoding of zero runs.
+    Rle,
+    /// Zero-value compression (the paper's hardware choice).
+    Zvc,
+    /// DEFLATE-style LZ77 + Huffman (software upper bound).
+    Zlib,
+}
+
+impl Algorithm {
+    /// The three algorithms in the order the paper's figures show them.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Rle, Algorithm::Zvc, Algorithm::Zlib];
+
+    /// Instantiates the codec for this algorithm.
+    pub fn codec(&self) -> Box<dyn Compressor> {
+        match self {
+            Algorithm::Rle => Box::new(Rle::new()),
+            Algorithm::Zvc => Box::new(Zvc::new()),
+            Algorithm::Zlib => Box::new(Zlib::new()),
+        }
+    }
+
+    /// Two-letter figure label (`RL`, `ZV`, `ZL`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Rle => "RL",
+            Algorithm::Zvc => "ZV",
+            Algorithm::Zlib => "ZL",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_codec_names() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.label(), alg.codec().name());
+            assert_eq!(alg.to_string(), alg.label());
+        }
+    }
+
+    #[test]
+    fn ratio_of_empty_input_is_one() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.codec().ratio(&[]), 1.0);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_roundtrip_sparse_data() {
+        let data: Vec<f32> = (0..512)
+            .map(|i| if i % 3 == 0 { (i as f32) * 0.25 } else { 0.0 })
+            .collect();
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let bytes = codec.compress(&data);
+            assert_eq!(
+                codec.decompress(&bytes, data.len()).unwrap(),
+                data,
+                "{alg} failed roundtrip"
+            );
+            assert!(codec.ratio(&data) > 1.0, "{alg} should compress 66% zeros");
+        }
+    }
+
+    #[test]
+    fn default_compressed_size_matches_compress() {
+        let data = vec![1.0f32; 100];
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            assert_eq!(codec.compressed_size(&data), codec.compress(&data).len());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Bit-granular I/O used by the DEFLATE-style coder.
+//!
+//! All multi-bit fields are written and read MSB-first, which lets canonical
+//! Huffman codes be decoded with the classic first-code/offset walk.
+
+/// Accumulates bits MSB-first into a byte buffer.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of bits already filled in the final byte (0..8).
+    used: u8,
+}
+
+impl BitWriter {
+    pub(crate) fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writes the low `count` bits of `value`, most significant first.
+    pub(crate) fn write_bits(&mut self, value: u32, count: u8) {
+        debug_assert!(count <= 32);
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.used == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (bit as u8) << (7 - self.used);
+            self.used = (self.used + 1) % 8;
+        }
+    }
+
+    /// Pads the final byte with zero bits and returns the buffer.
+    pub(crate) fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Total bits written so far.
+    #[cfg(test)]
+    pub(crate) fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.used as usize
+        }
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub(crate) struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub(crate) fn read_bit(&mut self) -> Option<u32> {
+        let byte = *self.bytes.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(bit as u32)
+    }
+
+    /// Reads `count` bits MSB-first; `None` if the stream is exhausted.
+    pub(crate) fn read_bits(&mut self, count: u8) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit()?;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xabcd, 16);
+        w.write_bits(1, 1);
+        w.write_bits(0x3fffffff, 30);
+        assert_eq!(w.bit_len(), 50);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(16), Some(0xabcd));
+        assert_eq!(r.read_bits(1), Some(1));
+        assert_eq!(r.read_bits(30), Some(0x3fffffff));
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // bit 7 of first byte
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let bytes = [0xffu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0xff));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(4), None);
+    }
+
+    #[test]
+    fn zero_count_reads_zero() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0), Some(0));
+    }
+}

@@ -1,0 +1,54 @@
+//! # cdma-compress — the three compression algorithms evaluated by the cDMA paper
+//!
+//! Section V of Rhu et al. (HPCA 2018) evaluates three candidate algorithms
+//! for the compressing DMA engine:
+//!
+//! * [`Rle`] — **run-length encoding** of zero runs. Cheap hardware, but its
+//!   effectiveness depends on zeros being *spatially clustered* in the byte
+//!   stream, which makes it sensitive to the activation memory layout.
+//! * [`Zvc`] — **zero-value compression** (the paper's choice, Fig. 8): every
+//!   32 consecutive activation words become a 32-bit presence mask followed
+//!   by the packed non-zero words. Compression is a pure function of the
+//!   zero count, so it is completely layout-insensitive.
+//! * [`Zlib`] — a DEFLATE-style LZ77 + canonical-Huffman coder, standing in
+//!   for the paper's zlib upper bound. Too slow/complex for a 100 GB/s
+//!   hardware engine; included to quantify what ZVC leaves on the table.
+//!
+//! All compressors implement [`Compressor`], operate on `f32` activation
+//! words (the paper's data type), and are **lossless**: decode(encode(x))
+//! == x bit-for-bit, which the test suite and property tests enforce.
+//!
+//! The engine compresses data in fixed-size *windows* (4 KB in the paper's
+//! evaluation, Section VII-A); [`windowed`] reproduces that accounting.
+//!
+//! ```
+//! use cdma_compress::{Compressor, Zvc};
+//!
+//! // 60% zero-valued activations compress by ~2.4x under ZVC.
+//! let data: Vec<f32> = (0..3200)
+//!     .map(|i| if i % 5 < 3 { 0.0 } else { 1.0 + i as f32 })
+//!     .collect();
+//! let zvc = Zvc::new();
+//! let bytes = zvc.compress(&data);
+//! assert!(bytes.len() < data.len() * 4 / 2);
+//! let back = zvc.decompress(&bytes, data.len()).unwrap();
+//! assert_eq!(back, data);
+//! ```
+
+#![deny(missing_docs)]
+
+mod algorithm;
+mod bitio;
+mod error;
+mod rle;
+mod stats;
+pub mod windowed;
+mod zlib;
+mod zvc;
+
+pub use algorithm::{Algorithm, Compressor};
+pub use error::DecodeError;
+pub use rle::Rle;
+pub use stats::CompressionStats;
+pub use zlib::Zlib;
+pub use zvc::{Zvc, ZVC_WINDOW_ELEMS};

@@ -1,0 +1,696 @@
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Compressor, DecodeError};
+
+/// A DEFLATE-style LZ77 + canonical-Huffman coder, standing in for zlib.
+///
+/// The paper uses gzip's DEFLATE (Section V-A) purely as a *software upper
+/// bound*: it compresses non-zero data too, but FPGA/ASIC implementations top
+/// out around 2.5 GB/s, far below the 100s of GB/s a DMA engine needs, so the
+/// paper's conclusion is that its extra ratio is not worth the hardware. This
+/// implementation reproduces the algorithmic structure — a 32 KB sliding
+/// window LZ77 match stage feeding length-limited canonical Huffman coding
+/// with the DEFLATE length/distance binning — in a self-contained format (we
+/// do not need gzip container interoperability, only the same compression
+/// behaviour; see DESIGN.md).
+///
+/// ```
+/// use cdma_compress::{Compressor, Zlib};
+/// let zl = Zlib::new();
+/// let data: Vec<f32> = (0..2048).map(|i| (i % 7) as f32).collect();
+/// let bytes = zl.compress(&data);
+/// assert!(bytes.len() < data.len() * 4 / 4, "repetitive data compresses well");
+/// assert_eq!(zl.decompress(&bytes, data.len()).unwrap(), data);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zlib {
+    /// Maximum hash-chain positions inspected per match attempt. Higher
+    /// values find better matches but compress slower (zlib's `level` knob).
+    max_chain: usize,
+}
+
+impl Default for Zlib {
+    fn default() -> Self {
+        Zlib { max_chain: 64 }
+    }
+}
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const WINDOW: usize = 32 * 1024;
+const MAX_CODE_LEN: u8 = 15;
+/// Literal/length alphabet: 256 literals + end-of-block + 29 length codes.
+const NUM_LITLEN: usize = 286;
+const EOB: usize = 256;
+const NUM_DIST: usize = 30;
+
+/// DEFLATE length-code table: `(base_length, extra_bits)` for codes 257..286.
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// DEFLATE distance-code table: `(base_distance, extra_bits)` for codes 0..30.
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4),
+    (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8),
+    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+fn length_to_code(len: usize) -> (usize, u16, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    // Last matching entry whose base <= len.
+    let mut idx = 0;
+    for (i, &(base, _)) in LEN_TABLE.iter().enumerate() {
+        if (base as usize) <= len {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    // Code 285 (index 28) encodes exactly 258 with no extra bits; lengths in
+    // [227+31, 257] belong to code 284.
+    if idx == 28 && len != 258 {
+        idx = 27;
+    }
+    let (base, extra) = LEN_TABLE[idx];
+    (257 + idx, len as u16 - base, extra)
+}
+
+fn distance_to_code(dist: usize) -> (usize, u16, u8) {
+    debug_assert!((1..=WINDOW).contains(&dist));
+    let mut idx = 0;
+    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
+        if (base as usize) <= dist {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, dist as u16 - base, extra)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+impl Zlib {
+    /// Creates a coder with the default match effort (chain depth 64).
+    pub fn new() -> Self {
+        Zlib::default()
+    }
+
+    /// Creates a coder with a custom hash-chain search depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_chain` is zero.
+    pub fn with_chain_depth(max_chain: usize) -> Self {
+        assert!(max_chain > 0, "chain depth must be at least 1");
+        Zlib { max_chain }
+    }
+
+    fn tokenize(&self, data: &[u8]) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        if data.len() < MIN_MATCH {
+            tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+            return tokens;
+        }
+        const HASH_BITS: usize = 15;
+        const HASH_SIZE: usize = 1 << HASH_BITS;
+        let hash = |d: &[u8], i: usize| -> usize {
+            let h = (d[i] as u32)
+                .wrapping_mul(0x9E37)
+                .wrapping_add((d[i + 1] as u32).wrapping_mul(0x79B9))
+                .wrapping_add((d[i + 2] as u32).wrapping_mul(0x1E35));
+            (h as usize) & (HASH_SIZE - 1)
+        };
+        let mut head = vec![usize::MAX; HASH_SIZE];
+        let mut prev = vec![usize::MAX; data.len()];
+        let mut i = 0usize;
+        while i < data.len() {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
+            if i + MIN_MATCH <= data.len() {
+                let h = hash(data, i);
+                let mut cand = head[h];
+                let mut chain = self.max_chain;
+                while cand != usize::MAX && chain > 0 {
+                    let dist = i - cand;
+                    if dist > WINDOW {
+                        break;
+                    }
+                    let max_len = (data.len() - i).min(MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < max_len && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = dist;
+                        if l == max_len {
+                            break;
+                        }
+                    }
+                    cand = prev[cand];
+                    chain -= 1;
+                }
+            }
+            if best_len >= MIN_MATCH {
+                tokens.push(Token::Match {
+                    len: best_len,
+                    dist: best_dist,
+                });
+                // Insert hash entries for every position the match covers so
+                // later data can refer back inside it.
+                let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+                for j in i..end {
+                    let h = hash(data, j);
+                    prev[j] = head[h];
+                    head[h] = j;
+                }
+                i += best_len;
+            } else {
+                tokens.push(Token::Literal(data[i]));
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash(data, i);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        }
+        tokens
+    }
+}
+
+impl Compressor for Zlib {
+    fn name(&self) -> &'static str {
+        "ZL"
+    }
+
+    fn compress(&self, data: &[f32]) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let tokens = self.tokenize(&bytes);
+
+        // Gather symbol frequencies (EOB always occurs once).
+        let mut lit_freq = vec![0u64; NUM_LITLEN];
+        let mut dist_freq = vec![0u64; NUM_DIST];
+        lit_freq[EOB] = 1;
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Match { len, dist } => {
+                    lit_freq[length_to_code(len).0] += 1;
+                    dist_freq[distance_to_code(dist).0] += 1;
+                }
+            }
+        }
+        let lit_lens = huffman::code_lengths(&lit_freq, MAX_CODE_LEN);
+        let dist_lens = huffman::code_lengths(&dist_freq, MAX_CODE_LEN);
+        let lit_codes = huffman::canonical_codes(&lit_lens);
+        let dist_codes = huffman::canonical_codes(&dist_lens);
+
+        let mut w = BitWriter::new();
+        // Header: 4-bit code lengths for both alphabets.
+        for &l in &lit_lens {
+            w.write_bits(l as u32, 4);
+        }
+        for &l in &dist_lens {
+            w.write_bits(l as u32, 4);
+        }
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => {
+                    let s = b as usize;
+                    w.write_bits(lit_codes[s], lit_lens[s]);
+                }
+                Token::Match { len, dist } => {
+                    let (lc, lex, lexbits) = length_to_code(len);
+                    w.write_bits(lit_codes[lc], lit_lens[lc]);
+                    w.write_bits(lex as u32, lexbits);
+                    let (dc, dex, dexbits) = distance_to_code(dist);
+                    w.write_bits(dist_codes[dc], dist_lens[dc]);
+                    w.write_bits(dex as u32, dexbits);
+                }
+            }
+        }
+        w.write_bits(lit_codes[EOB], lit_lens[EOB]);
+        w.finish()
+    }
+
+    fn decompress(&self, bytes: &[u8], element_count: usize) -> Result<Vec<f32>, DecodeError> {
+        let mut r = BitReader::new(bytes);
+        let mut lit_lens = vec![0u8; NUM_LITLEN];
+        for l in lit_lens.iter_mut() {
+            *l = r
+                .read_bits(4)
+                .ok_or(DecodeError::Corrupt("truncated litlen header"))? as u8;
+        }
+        let mut dist_lens = vec![0u8; NUM_DIST];
+        for l in dist_lens.iter_mut() {
+            *l = r
+                .read_bits(4)
+                .ok_or(DecodeError::Corrupt("truncated distance header"))? as u8;
+        }
+        let lit_dec = huffman::Decoder::from_lengths(&lit_lens)
+            .ok_or(DecodeError::Corrupt("invalid litlen code"))?;
+        let dist_dec = huffman::Decoder::from_lengths(&dist_lens);
+
+        let target = element_count * 4;
+        let mut out: Vec<u8> = Vec::with_capacity(target);
+        loop {
+            let sym = lit_dec
+                .decode(&mut r)
+                .ok_or(DecodeError::Corrupt("bad huffman code"))?;
+            if sym == EOB {
+                break;
+            }
+            if sym < 256 {
+                out.push(sym as u8);
+            } else {
+                let idx = sym - 257;
+                if idx >= LEN_TABLE.len() {
+                    return Err(DecodeError::Corrupt("length code out of range"));
+                }
+                let (base, extra) = LEN_TABLE[idx];
+                let ex = r
+                    .read_bits(extra)
+                    .ok_or(DecodeError::Corrupt("truncated length extra bits"))?;
+                let len = base as usize + ex as usize;
+                let dd = dist_dec
+                    .as_ref()
+                    .ok_or(DecodeError::Corrupt("match without distance alphabet"))?;
+                let dsym = dd
+                    .decode(&mut r)
+                    .ok_or(DecodeError::Corrupt("bad distance code"))?;
+                if dsym >= DIST_TABLE.len() {
+                    return Err(DecodeError::Corrupt("distance code out of range"));
+                }
+                let (dbase, dextra) = DIST_TABLE[dsym];
+                let dex = r
+                    .read_bits(dextra)
+                    .ok_or(DecodeError::Corrupt("truncated distance extra bits"))?;
+                let dist = dbase as usize + dex as usize;
+                if dist > out.len() {
+                    return Err(DecodeError::Corrupt("match distance before stream start"));
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            if out.len() > target {
+                return Err(DecodeError::TrailingData {
+                    expected: element_count,
+                });
+            }
+        }
+        if out.len() != target {
+            return Err(DecodeError::Truncated {
+                expected: element_count,
+                decoded: out.len() / 4,
+            });
+        }
+        let mut vals = Vec::with_capacity(element_count);
+        for chunk in out.chunks_exact(4) {
+            vals.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        Ok(vals)
+    }
+}
+
+/// Length-limited canonical Huffman coding (package-merge construction).
+mod huffman {
+    use crate::bitio::BitReader;
+
+    /// Computes length-limited code lengths for `freqs` using the
+    /// package-merge algorithm. Symbols with zero frequency get length 0
+    /// (absent from the code).
+    pub(super) fn code_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+        let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+        let mut lens = vec![0u8; freqs.len()];
+        match used.len() {
+            0 => return lens,
+            1 => {
+                lens[used[0]] = 1;
+                return lens;
+            }
+            _ => {}
+        }
+        assert!(
+            (1usize << max_len) >= used.len(),
+            "alphabet too large for max code length"
+        );
+        // Package-merge over (freq, leaf-multiset) nodes.
+        #[derive(Clone)]
+        struct Node {
+            freq: u64,
+            leaves: Vec<u32>,
+        }
+        let mut items: Vec<Node> = used
+            .iter()
+            .map(|&s| Node {
+                freq: freqs[s],
+                leaves: vec![s as u32],
+            })
+            .collect();
+        items.sort_by_key(|n| n.freq);
+        let mut list = items.clone();
+        for _ in 1..max_len {
+            // Package: pair adjacent nodes.
+            let mut packaged = Vec::with_capacity(list.len() / 2);
+            for pair in list.chunks_exact(2) {
+                let mut leaves = pair[0].leaves.clone();
+                leaves.extend_from_slice(&pair[1].leaves);
+                packaged.push(Node {
+                    freq: pair[0].freq + pair[1].freq,
+                    leaves,
+                });
+            }
+            // Merge with the original items, keeping sorted order.
+            let mut merged = Vec::with_capacity(items.len() + packaged.len());
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < items.len() || b < packaged.len() {
+                let take_item = b >= packaged.len()
+                    || (a < items.len() && items[a].freq <= packaged[b].freq);
+                if take_item {
+                    merged.push(items[a].clone());
+                    a += 1;
+                } else {
+                    merged.push(packaged[b].clone());
+                    b += 1;
+                }
+            }
+            list = merged;
+        }
+        for node in list.iter().take(2 * used.len() - 2) {
+            for &leaf in &node.leaves {
+                lens[leaf as usize] += 1;
+            }
+        }
+        debug_assert!(kraft_ok(&lens));
+        lens
+    }
+
+    fn kraft_ok(lens: &[u8]) -> bool {
+        let sum: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        sum <= 1.0 + 1e-9
+    }
+
+    /// Assigns canonical codes (MSB-first) given code lengths.
+    pub(super) fn canonical_codes(lens: &[u8]) -> Vec<u32> {
+        let max = lens.iter().copied().max().unwrap_or(0) as usize;
+        let mut count = vec![0u32; max + 1];
+        for &l in lens {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut next = vec![0u32; max + 2];
+        let mut code = 0u32;
+        for l in 1..=max {
+            code = (code + count[l - 1]) << 1;
+            next[l] = code;
+        }
+        let mut codes = vec![0u32; lens.len()];
+        for (s, &l) in lens.iter().enumerate() {
+            if l > 0 {
+                codes[s] = next[l as usize];
+                next[l as usize] += 1;
+            }
+        }
+        codes
+    }
+
+    /// Canonical Huffman decoder (first-code/offset walk).
+    pub(super) struct Decoder {
+        /// Symbols sorted by (length, symbol).
+        symbols: Vec<usize>,
+        /// count[l] = number of codes of length l.
+        count: Vec<u32>,
+        max_len: usize,
+    }
+
+    impl Decoder {
+        /// Returns `None` when no symbol has a code (empty alphabet) —
+        /// callers treat that as "alphabet unused".
+        pub(super) fn from_lengths(lens: &[u8]) -> Option<Self> {
+            let max_len = lens.iter().copied().max().unwrap_or(0) as usize;
+            if max_len == 0 {
+                return None;
+            }
+            let mut count = vec![0u32; max_len + 1];
+            let mut symbols: Vec<usize> = (0..lens.len()).filter(|&s| lens[s] > 0).collect();
+            symbols.sort_by_key(|&s| (lens[s], s));
+            for &l in lens {
+                if l > 0 {
+                    count[l as usize] += 1;
+                }
+            }
+            Some(Decoder {
+                symbols,
+                count,
+                max_len,
+            })
+        }
+
+        /// Decodes one symbol, walking bits MSB-first.
+        pub(super) fn decode(&self, r: &mut BitReader<'_>) -> Option<usize> {
+            let mut code = 0u32;
+            let mut first = 0u32;
+            let mut index = 0u32;
+            for len in 1..=self.max_len {
+                code = (code << 1) | r.read_bit()?;
+                let n = self.count[len];
+                if code < first + n {
+                    return Some(self.symbols[(index + code - first) as usize]);
+                }
+                index += n;
+                first = (first + n) << 1;
+            }
+            None
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::bitio::BitWriter;
+
+        #[test]
+        fn lengths_obey_kraft_and_limit() {
+            let freqs: Vec<u64> = (0..50).map(|i| (i * i + 1) as u64).collect();
+            let lens = code_lengths(&freqs, 7);
+            assert!(lens.iter().all(|&l| l <= 7));
+            assert!(kraft_ok(&lens));
+            assert!(lens.iter().any(|&l| l > 0));
+        }
+
+        #[test]
+        fn single_symbol_gets_length_one() {
+            let mut freqs = vec![0u64; 10];
+            freqs[3] = 42;
+            let lens = code_lengths(&freqs, 15);
+            assert_eq!(lens[3], 1);
+            assert_eq!(lens.iter().map(|&l| l as u32).sum::<u32>(), 1);
+        }
+
+        #[test]
+        fn frequent_symbols_get_shorter_codes() {
+            let freqs = vec![1000u64, 1, 1, 1, 1, 1, 1, 1];
+            let lens = code_lengths(&freqs, 15);
+            assert!(lens[0] < lens[7]);
+        }
+
+        #[test]
+        fn canonical_roundtrip_all_symbols() {
+            let freqs: Vec<u64> = vec![90, 5, 5, 20, 1, 0, 64, 3];
+            let lens = code_lengths(&freqs, 15);
+            let codes = canonical_codes(&lens);
+            let dec = Decoder::from_lengths(&lens).unwrap();
+            for s in 0..freqs.len() {
+                if lens[s] == 0 {
+                    continue;
+                }
+                let mut w = BitWriter::new();
+                w.write_bits(codes[s], lens[s]);
+                let bytes = w.finish();
+                let mut r = BitReader::new(&bytes);
+                assert_eq!(dec.decode(&mut r), Some(s), "symbol {s}");
+            }
+        }
+
+        #[test]
+        fn empty_alphabet_has_no_decoder() {
+            assert!(Decoder::from_lengths(&[0, 0, 0]).is_none());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[f32]) -> usize {
+        let zl = Zlib::new();
+        let bytes = zl.compress(data);
+        let back = zl.decompress(&bytes, data.len()).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (a, b) in back.iter().zip(data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        bytes.len()
+    }
+
+    #[test]
+    fn roundtrip_small_inputs() {
+        roundtrip(&[]);
+        roundtrip(&[1.0]);
+        roundtrip(&[0.0, 0.0]);
+        roundtrip(&[1.0, 2.0, 3.0]);
+        roundtrip(&[-0.0, f32::MIN_POSITIVE, 3.4e38]);
+    }
+
+    #[test]
+    fn zeros_compress_extremely_well() {
+        let size = roundtrip(&vec![0.0f32; 4096]);
+        // 16 KB of zeros should collapse to well under 1 KB.
+        assert!(size < 512, "got {size}");
+    }
+
+    #[test]
+    fn repetitive_nonzero_data_also_compresses() {
+        let data: Vec<f32> = (0..4096).map(|i| ((i % 16) as f32) * 0.5).collect();
+        let size = roundtrip(&data);
+        assert!(
+            size < data.len() * 4 / 4,
+            "LZ should exploit the period-16 repetition, got {size}"
+        );
+    }
+
+    #[test]
+    fn incompressible_data_grows_only_modestly() {
+        // Pseudo-random bits: Huffman/LZ can't win, but the format overhead
+        // stays bounded (header + <=9/8 expansion).
+        let mut state = 0x12345678u64;
+        let data: Vec<f32> = (0..2048)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                f32::from_bits((state >> 16) as u32 | 1)
+            })
+            .collect();
+        let zl = Zlib::new();
+        let bytes = zl.compress(&data);
+        assert!(bytes.len() < data.len() * 4 * 9 / 8 + 256);
+        // Compare bit patterns: random bits can form NaN, which is != NaN.
+        let back = zl.decompress(&bytes, data.len()).unwrap();
+        for (a, b) in back.iter().zip(&data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_activations_beat_zvc_slightly() {
+        // 70% zeros with structured non-zeros: zlib should reach at least
+        // the ZVC ratio (it compresses the non-zero side too).
+        let data: Vec<f32> = (0..8192)
+            .map(|i| {
+                if (i * 2654435761usize) % 10 < 7 {
+                    0.0
+                } else {
+                    ((i % 32) as f32) + 1.0
+                }
+            })
+            .collect();
+        let zl_size = Zlib::new().compress(&data).len();
+        let zv_size = crate::Zvc::new().compress(&data).len();
+        assert!(
+            zl_size <= zv_size,
+            "zlib {zl_size} should be <= zvc {zv_size} on structured data"
+        );
+    }
+
+    #[test]
+    fn mixed_match_lengths_roundtrip() {
+        // Exercises every length bin including the 258 special case.
+        let mut data = Vec::new();
+        for run in [3usize, 4, 10, 11, 18, 35, 70, 130, 250, 258, 300] {
+            for k in 0..run {
+                data.push((run + k % 3) as f32);
+            }
+            data.push(-1.0 * run as f32);
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected_not_panicking() {
+        let zl = Zlib::new();
+        let good = zl.compress(&[1.0f32; 64]);
+        // Truncations at various points must return Err, never panic.
+        for cut in [0, 10, good.len() / 2, good.len().saturating_sub(1)] {
+            let _ = zl.decompress(&good[..cut], 64);
+        }
+        // Bit flips likewise.
+        for flip in 0..good.len().min(32) {
+            let mut bad = good.clone();
+            bad[flip] ^= 0x55;
+            let _ = zl.decompress(&bad, 64);
+        }
+    }
+
+    #[test]
+    fn chain_depth_trades_ratio() {
+        let data: Vec<f32> = (0..8192).map(|i| ((i * i) % 97) as f32).collect();
+        let shallow = Zlib::with_chain_depth(1).compress(&data).len();
+        let deep = Zlib::with_chain_depth(256).compress(&data).len();
+        assert!(deep <= shallow);
+        // Both must still round-trip.
+        let zl = Zlib::with_chain_depth(1);
+        assert_eq!(zl.decompress(&zl.compress(&data), data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn length_code_bins_are_consistent() {
+        for len in MIN_MATCH..=MAX_MATCH {
+            let (code, extra_val, extra_bits) = length_to_code(len);
+            assert!((257..257 + 29).contains(&code));
+            let (base, eb) = LEN_TABLE[code - 257];
+            assert_eq!(eb, extra_bits);
+            assert_eq!(base as usize + extra_val as usize, len);
+            assert!(extra_val < (1 << extra_bits) || extra_bits == 0 && extra_val == 0);
+        }
+    }
+
+    #[test]
+    fn distance_code_bins_are_consistent() {
+        for dist in 1..=WINDOW {
+            let (code, extra_val, extra_bits) = distance_to_code(dist);
+            assert!(code < 30);
+            let (base, eb) = DIST_TABLE[code];
+            assert_eq!(eb, extra_bits);
+            assert_eq!(base as usize + extra_val as usize, dist);
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (Section VII). The `cdma-bench` binaries print these; the
+//! workspace integration tests assert the headline numbers.
+
+use cdma_compress::Algorithm;
+use cdma_gpusim::SystemConfig;
+use cdma_models::profiles::{self, NetworkProfile};
+use cdma_models::{zoo, NetworkSpec};
+use cdma_sparsity::TRAINING_CHECKPOINTS;
+use cdma_tensor::Layout;
+use cdma_vdnn::traffic::{self, NetworkTraffic};
+use cdma_vdnn::{ComputeModel, CudnnVersion, RatioTable, StepSim, TransferPolicy};
+
+/// One bar group of Fig. 11: per network × layout × algorithm, the
+/// byte-weighted average and per-layer maximum compression ratio.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Network name.
+    pub network: String,
+    /// Activation memory layout.
+    pub layout: Layout,
+    /// Compression algorithm.
+    pub algorithm: Algorithm,
+    /// Average (weighted) network compression ratio.
+    pub avg_ratio: f64,
+    /// Maximum per-layer ratio.
+    pub max_ratio: f64,
+}
+
+/// Generates Fig. 11 (all networks × 3 layouts × 3 algorithms).
+pub fn fig11(table: &RatioTable) -> Vec<Fig11Row> {
+    let mut rows = Vec::new();
+    for spec in zoo::all_networks() {
+        let profile = profiles::density_profile(&spec);
+        for layout in Layout::ALL {
+            for alg in Algorithm::ALL {
+                let t = traffic::network_traffic(&spec, &profile, alg, layout, table);
+                rows.push(Fig11Row {
+                    network: spec.name().to_owned(),
+                    layout,
+                    algorithm: alg,
+                    avg_ratio: t.avg_ratio(),
+                    max_ratio: t.max_layer_ratio(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One bar of Fig. 12: offloaded bytes normalized to uncompressed vDNN.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Network name.
+    pub network: String,
+    /// Compression algorithm.
+    pub algorithm: Algorithm,
+    /// Compressed size over uncompressed size (lower is better).
+    pub normalized_offload: f64,
+}
+
+/// Generates Fig. 12 (NCHW layout, as the paper's results section uses).
+pub fn fig12(table: &RatioTable) -> Vec<Fig12Row> {
+    let mut rows = Vec::new();
+    for spec in zoo::all_networks() {
+        let profile = profiles::density_profile(&spec);
+        for alg in Algorithm::ALL {
+            let t = traffic::network_traffic(&spec, &profile, alg, Layout::Nchw, table);
+            rows.push(Fig12Row {
+                network: spec.name().to_owned(),
+                algorithm: alg,
+                normalized_offload: t.normalized_offload(),
+            });
+        }
+    }
+    rows
+}
+
+/// Transfer configuration of one Fig. 13 bar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfConfig {
+    /// Uncompressed vDNN.
+    Vdnn,
+    /// cDMA with the given algorithm.
+    Cdma(Algorithm),
+    /// The oracle (PCIe bottleneck removed).
+    Oracle,
+}
+
+impl PerfConfig {
+    /// Label as in Fig. 13 ("vDNN", "RL", "ZV", "ZL", "orac").
+    pub fn label(&self) -> &'static str {
+        match self {
+            PerfConfig::Vdnn => "vDNN",
+            PerfConfig::Cdma(a) => a.label(),
+            PerfConfig::Oracle => "orac",
+        }
+    }
+}
+
+/// One bar of Fig. 13: performance normalized to the oracle.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// Network name.
+    pub network: String,
+    /// Transfer configuration.
+    pub config: PerfConfig,
+    /// Performance normalized to the oracle baseline (1.0 = no overhead).
+    pub performance: f64,
+}
+
+/// Generates Fig. 13 on the given platform with cuDNN v5 compute.
+pub fn fig13(cfg: SystemConfig, table: &RatioTable) -> Vec<Fig13Row> {
+    let sim = StepSim::new(cfg, ComputeModel::titan_x(CudnnVersion::V5));
+    let mut rows = Vec::new();
+    for spec in zoo::all_networks() {
+        let profile = profiles::density_profile(&spec);
+        let mut push = |config: PerfConfig, perf: f64| {
+            rows.push(Fig13Row {
+                network: spec.name().to_owned(),
+                config,
+                performance: perf,
+            });
+        };
+        push(
+            PerfConfig::Vdnn,
+            sim.normalized_performance(&spec, TransferPolicy::uniform(&spec, 1.0)),
+        );
+        for alg in Algorithm::ALL {
+            let t = traffic::network_traffic(&spec, &profile, alg, Layout::Nchw, table);
+            let ratios = traffic::per_layer_ratios(&t);
+            push(
+                PerfConfig::Cdma(alg),
+                sim.normalized_performance(&spec, TransferPolicy::OffloadAll(ratios)),
+            );
+        }
+        push(PerfConfig::Oracle, 1.0);
+    }
+    rows
+}
+
+/// One point of Fig. 3: per network and cuDNN version, the compute speedup
+/// over v1 (panel a) and vDNN performance normalized to the same-version
+/// oracle (panel b).
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Network name.
+    pub network: String,
+    /// cuDNN version.
+    pub version: CudnnVersion,
+    /// Compute speedup relative to cuDNN v1 (Fig. 3a).
+    pub speedup_vs_v1: f64,
+    /// vDNN performance normalized to the oracle (Fig. 3b).
+    pub vdnn_performance: f64,
+}
+
+/// Generates both panels of Fig. 3.
+pub fn fig03(cfg: SystemConfig) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for spec in zoo::all_networks() {
+        let t1 = ComputeModel::titan_x(CudnnVersion::V1).step_compute_time(&spec);
+        for v in CudnnVersion::ALL {
+            let model = ComputeModel::titan_x(v);
+            let sim = StepSim::new(cfg, model);
+            rows.push(Fig3Row {
+                network: spec.name().to_owned(),
+                version: v,
+                speedup_vs_v1: t1 / model.step_compute_time(&spec),
+                vdnn_performance: sim
+                    .normalized_performance(&spec, TransferPolicy::uniform(&spec, 1.0)),
+            });
+        }
+    }
+    rows
+}
+
+/// Per-layer density samples across training for one network (Fig. 4 is
+/// AlexNet; Fig. 6 covers the other five).
+#[derive(Debug, Clone)]
+pub struct DensityFigure {
+    /// Network name.
+    pub network: String,
+    /// Training checkpoints (fractions of total training).
+    pub checkpoints: Vec<f64>,
+    /// `(layer, densities-at-checkpoints)` for ReLU/pool/fc layers.
+    pub layers: Vec<(String, Vec<f64>)>,
+}
+
+/// Generates the per-layer density-over-training figure for a network.
+pub fn density_figure(spec: &NetworkSpec) -> DensityFigure {
+    let profile = profiles::density_profile(spec);
+    density_figure_from_profile(spec, &profile)
+}
+
+/// Same, from a pre-built profile.
+pub fn density_figure_from_profile(
+    spec: &NetworkSpec,
+    profile: &NetworkProfile,
+) -> DensityFigure {
+    let checkpoints: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut layers = Vec::new();
+    for layer in spec.layers() {
+        // The paper's figures show only sparsity-relevant layers.
+        if !(layer.relu || layer.is_pool()) {
+            continue;
+        }
+        let traj = profile.trajectory(&layer.name).expect("profile covers spec");
+        let ds: Vec<f64> = checkpoints.iter().map(|&t| traj.density_at(t)).collect();
+        layers.push((layer.name.clone(), ds));
+    }
+    DensityFigure {
+        network: spec.name().to_owned(),
+        checkpoints,
+        layers,
+    }
+}
+
+/// Fig. 7 data: loss curve plus the AlexNet conv-layer densities.
+#[derive(Debug, Clone)]
+pub struct Fig7Data {
+    /// Training checkpoints.
+    pub checkpoints: Vec<f64>,
+    /// Loss value at each checkpoint.
+    pub loss: Vec<f64>,
+    /// `(layer, densities)` for conv1..conv4.
+    pub conv_densities: Vec<(String, Vec<f64>)>,
+}
+
+/// Generates Fig. 7.
+pub fn fig07() -> Fig7Data {
+    let spec = zoo::alexnet();
+    let profile = profiles::density_profile(&spec);
+    let loss_curve = cdma_sparsity::LossCurve::alexnet();
+    let checkpoints: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+    let loss = checkpoints.iter().map(|&t| loss_curve.loss_at(t)).collect();
+    let conv_densities = ["conv1", "conv2", "conv3", "conv4"]
+        .iter()
+        .map(|name| {
+            let traj = profile.trajectory(name).expect("alexnet layer");
+            (
+                (*name).to_owned(),
+                checkpoints.iter().map(|&t| traj.density_at(t)).collect(),
+            )
+        })
+        .collect();
+    Fig7Data {
+        checkpoints,
+        loss,
+        conv_densities,
+    }
+}
+
+/// The paper's headline results, computed end-to-end.
+#[derive(Debug, Clone, Copy)]
+pub struct Headline {
+    /// Average ZVC compression ratio across networks (paper: 2.6×).
+    pub avg_ratio: f64,
+    /// Maximum per-layer ratio (paper: 13.8×).
+    pub max_ratio: f64,
+    /// Average cDMA-ZV performance improvement over vDNN (paper: 32%).
+    pub avg_improvement: f64,
+    /// Maximum improvement (paper: 61%).
+    pub max_improvement: f64,
+}
+
+/// Computes the headline numbers (abstract / Section VII).
+pub fn headline(cfg: SystemConfig, table: &RatioTable) -> Headline {
+    let nets = zoo::all_networks();
+    let mut ratios = Vec::new();
+    let mut max_ratio = 0f64;
+    let mut improvements = Vec::new();
+    let sim = StepSim::new(cfg, ComputeModel::titan_x(CudnnVersion::V5));
+    for spec in &nets {
+        let profile = profiles::density_profile(spec);
+        let t: NetworkTraffic =
+            traffic::network_traffic(spec, &profile, Algorithm::Zvc, Layout::Nchw, table);
+        ratios.push(t.avg_ratio());
+        max_ratio = max_ratio.max(t.max_layer_ratio());
+        let vdnn = sim.normalized_performance(spec, TransferPolicy::uniform(spec, 1.0));
+        let cdma = sim.normalized_performance(
+            spec,
+            TransferPolicy::OffloadAll(traffic::per_layer_ratios(&t)),
+        );
+        improvements.push(cdma / vdnn - 1.0);
+    }
+    Headline {
+        avg_ratio: ratios.iter().sum::<f64>() / ratios.len() as f64,
+        max_ratio,
+        avg_improvement: improvements.iter().sum::<f64>() / improvements.len() as f64,
+        max_improvement: improvements.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+/// The standard training checkpoints of Fig. 5 (0%, 20%, …, 100%).
+pub fn fig5_checkpoints() -> Vec<f64> {
+    TRAINING_CHECKPOINTS.to_vec()
+}
+
+/// End-to-end training-run projection: Table I's iteration counts priced
+/// with per-checkpoint step times, so the *evolving* sparsity (U-curve) is
+/// integrated over the whole run rather than averaged.
+#[derive(Debug, Clone)]
+pub struct TrainingRunSummary {
+    /// Network name.
+    pub network: String,
+    /// Training iterations (from Table I).
+    pub iterations: u64,
+    /// Wall-clock hours under the oracle (no PCIe bottleneck).
+    pub oracle_hours: f64,
+    /// Wall-clock hours under uncompressed vDNN.
+    pub vdnn_hours: f64,
+    /// Wall-clock hours under cDMA-ZV.
+    pub cdma_hours: f64,
+}
+
+impl TrainingRunSummary {
+    /// Whole-run speedup of cDMA over vDNN.
+    pub fn cdma_speedup(&self) -> f64 {
+        self.vdnn_hours / self.cdma_hours
+    }
+
+    /// Training days saved by cDMA vs vDNN.
+    pub fn days_saved(&self) -> f64 {
+        (self.vdnn_hours - self.cdma_hours) / 24.0
+    }
+}
+
+/// Projects the full training runs of all six networks. The run is split
+/// into checkpoint buckets; each bucket's step time uses that checkpoint's
+/// per-layer densities (early training is sparser, so cDMA steps are
+/// faster then — averaging would hide that).
+pub fn training_runs(cfg: SystemConfig, table: &RatioTable) -> Vec<TrainingRunSummary> {
+    let sim = StepSim::new(cfg, ComputeModel::titan_x(CudnnVersion::V5));
+    let buckets = 10usize;
+    zoo::all_networks()
+        .iter()
+        .zip(zoo::TABLE_ONE.iter())
+        .map(|(spec, row)| {
+            let profile = profiles::density_profile(spec);
+            let iterations = row.trained_kiter as u64 * 1000;
+            let per_bucket = iterations as f64 / buckets as f64;
+            let oracle_step = sim.step_time(spec, TransferPolicy::Oracle).total();
+            let vdnn_step = sim
+                .step_time(spec, TransferPolicy::uniform(spec, 1.0))
+                .total();
+            let mut cdma_secs = 0.0;
+            for k in 0..buckets {
+                let t = (k as f64 + 0.5) / buckets as f64;
+                let ratios: Vec<f64> = spec
+                    .layers()
+                    .iter()
+                    .map(|l| {
+                        let d = profile
+                            .trajectory(&l.name)
+                            .expect("profiled layer")
+                            .density_at(t);
+                        table.ratio(Algorithm::Zvc, Layout::Nchw, d)
+                    })
+                    .collect();
+                let step = sim
+                    .step_time(spec, TransferPolicy::OffloadAll(ratios))
+                    .total();
+                cdma_secs += step * per_bucket;
+            }
+            TrainingRunSummary {
+                network: spec.name().to_owned(),
+                iterations,
+                oracle_hours: oracle_step * iterations as f64 / 3600.0,
+                vdnn_hours: vdnn_step * iterations as f64 / 3600.0,
+                cdma_hours: cdma_secs / 3600.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RatioTable {
+        RatioTable::build_fast(11)
+    }
+
+    #[test]
+    fn fig11_has_all_cells() {
+        let rows = fig11(&table());
+        assert_eq!(rows.len(), 6 * 3 * 3);
+        assert!(rows.iter().all(|r| r.avg_ratio > 0.5 && r.max_ratio >= r.avg_ratio));
+    }
+
+    #[test]
+    fn fig11_zvc_layout_insensitivity() {
+        let rows = fig11(&table());
+        for net in ["AlexNet", "VGG"] {
+            let zv: Vec<&Fig11Row> = rows
+                .iter()
+                .filter(|r| r.network == net && r.algorithm == Algorithm::Zvc)
+                .collect();
+            let base = zv[0].avg_ratio;
+            for r in &zv {
+                assert!(
+                    (r.avg_ratio - base).abs() / base < 0.05,
+                    "{net} {}: {} vs {}",
+                    r.layout,
+                    r.avg_ratio,
+                    base
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig12_zv_reduces_traffic_everywhere() {
+        let rows = fig12(&table());
+        for r in rows.iter().filter(|r| r.algorithm == Algorithm::Zvc) {
+            assert!(
+                r.normalized_offload < 0.75,
+                "{}: normalized {}",
+                r.network,
+                r.normalized_offload
+            );
+        }
+    }
+
+    #[test]
+    fn fig13_ordering_vdnn_cdma_oracle() {
+        let rows = fig13(SystemConfig::titan_x_pcie3(), &table());
+        for net in ["AlexNet", "SqueezeNet", "GoogLeNet"] {
+            let get = |c: PerfConfig| {
+                rows.iter()
+                    .find(|r| r.network == net && r.config == c)
+                    .map(|r| r.performance)
+                    .unwrap()
+            };
+            let vdnn = get(PerfConfig::Vdnn);
+            let zv = get(PerfConfig::Cdma(Algorithm::Zvc));
+            assert!(vdnn <= zv, "{net}: vDNN {vdnn} vs ZV {zv}");
+            assert!(zv <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig03_speedups_and_degradation() {
+        let rows = fig03(SystemConfig::titan_x_pcie3());
+        assert_eq!(rows.len(), 6 * 5);
+        for r in &rows {
+            assert!(r.speedup_vs_v1 >= 1.0 - 1e-9);
+            assert!(r.vdnn_performance <= 1.0 + 1e-9);
+        }
+        // v5 speedup ~2.2x on average.
+        let v5: Vec<&Fig3Row> = rows.iter().filter(|r| r.version == CudnnVersion::V5).collect();
+        let avg = v5.iter().map(|r| r.speedup_vs_v1).sum::<f64>() / v5.len() as f64;
+        assert!((1.9..2.6).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn density_figures_cover_fig4_layers() {
+        let fig = density_figure(&zoo::alexnet());
+        let names: Vec<&str> = fig.layers.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in ["conv0", "pool0", "conv1", "pool1", "conv2", "conv3", "conv4", "pool2", "fc1", "fc2"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        // Dense layers are filtered out.
+        assert!(!names.contains(&"norm0"));
+        assert!(!names.contains(&"fc3"));
+    }
+
+    #[test]
+    fn fig07_loss_falls_densities_u_shape() {
+        let f = fig07();
+        assert!(f.loss[0] > 6.5 && *f.loss.last().unwrap() < 2.2);
+        for (name, ds) in &f.conv_densities {
+            let start = ds[0];
+            let min = ds.iter().cloned().fold(f64::INFINITY, f64::min);
+            let end = *ds.last().unwrap();
+            assert!(min < start && min < end, "{name} not U-shaped");
+        }
+    }
+
+    #[test]
+    fn training_runs_integrate_the_u_curve() {
+        let runs = training_runs(SystemConfig::titan_x_pcie3(), &table());
+        assert_eq!(runs.len(), 6);
+        for r in &runs {
+            assert!(r.oracle_hours <= r.cdma_hours + 1e-9, "{}", r.network);
+            assert!(r.cdma_hours <= r.vdnn_hours + 1e-9, "{}", r.network);
+            assert!(r.cdma_speedup() >= 1.0);
+            assert!(r.iterations >= 82_000);
+        }
+        // SqueezeNet's run shrinks by days.
+        let squeeze = runs.iter().find(|r| r.network == "SqueezeNet").unwrap();
+        assert!(
+            squeeze.days_saved() > 0.3,
+            "SqueezeNet saves {} days",
+            squeeze.days_saved()
+        );
+        // The U-curve integration beats the flat-average model slightly:
+        // cDMA hours < vdnn_hours / avg-ratio-derived bound sanity.
+        assert!(squeeze.cdma_speedup() > 1.3);
+    }
+
+    #[test]
+    fn headline_matches_paper_bands() {
+        // Abstract: "average 2.6x (maximum 13.8x) compression ratio",
+        // "average 32% (maximum 61%) performance improvement".
+        let h = headline(SystemConfig::titan_x_pcie3(), &table());
+        assert!(
+            (2.0..3.2).contains(&h.avg_ratio),
+            "avg ratio {} (paper 2.6)",
+            h.avg_ratio
+        );
+        assert!(
+            (8.0..32.0).contains(&h.max_ratio),
+            "max ratio {} (paper 13.8)",
+            h.max_ratio
+        );
+        assert!(
+            (0.15..0.50).contains(&h.avg_improvement),
+            "avg improvement {} (paper 0.32)",
+            h.avg_improvement
+        );
+        assert!(
+            (0.30..0.90).contains(&h.max_improvement),
+            "max improvement {} (paper 0.61)",
+            h.max_improvement
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # cdma-core — the compressing DMA engine
+//!
+//! The paper's primary contribution as a library: a DMA engine that
+//! compresses activation maps on their way out of GPU memory so that the
+//! CPU–GPU interconnect carries 2–3× fewer bytes, turning vDNN's
+//! PCIe-bound stalls back into fully-overlapped transfers.
+//!
+//! * [`CdmaEngine`] — the engine: pick an algorithm (ZVC is the hardware
+//!   design point), call [`CdmaEngine::memcpy_compressed`] — the analogue
+//!   of the proposed `cudaMemcpyCompressed()` CUDA API (Section V-D). The
+//!   call compresses in 4 KB windows with the real codec, simulates the
+//!   transfer through the discrete-event offload pipeline, and returns both
+//!   the payload and the timing.
+//! * [`experiment`] — drivers that regenerate every table and figure of
+//!   the paper's evaluation (consumed by the `cdma-bench` binaries and the
+//!   integration tests).
+//!
+//! ```
+//! use cdma_core::CdmaEngine;
+//! use cdma_gpusim::SystemConfig;
+//!
+//! let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+//! // 60%-sparse activations, as a ReLU layer would produce.
+//! let data: Vec<f32> = (0..65536)
+//!     .map(|i| if i % 5 < 3 { 0.0 } else { i as f32 })
+//!     .collect();
+//! let copy = engine.memcpy_compressed(&data);
+//! assert!(copy.stats.ratio() > 2.0);
+//! let back = engine.memcpy_decompressed(&copy).unwrap();
+//! assert_eq!(back, data);
+//! ```
+
+#![deny(missing_docs)]
+
+mod engine;
+pub mod experiment;
+
+pub use engine::{CdmaEngine, CompressedCopy};

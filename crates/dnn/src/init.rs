@@ -1,0 +1,108 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weight initialization schemes.
+///
+/// The paper's networks are trained from random initializations ("Trained
+/// (0%) corresponds to the point in time when the weights were initialized",
+/// Fig. 5); the *distribution* of those initial weights sets the initial
+/// activation density (~50% for symmetric distributions feeding ReLU).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightInit {
+    /// Zero-mean Gaussian with the given standard deviation.
+    Gaussian {
+        /// Standard deviation of the distribution.
+        std: f64,
+    },
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in +
+    /// fan_out))`. Keeps activation variance stable across layers.
+    Xavier,
+    /// He/Kaiming Gaussian: `N(0, sqrt(2 / fan_in))` — the standard choice
+    /// in front of ReLU.
+    He,
+}
+
+impl WeightInit {
+    /// Fills `weights` given the layer fan-in/out, deterministically from
+    /// `seed`.
+    pub fn fill(&self, weights: &mut [f32], fan_in: usize, fan_out: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            WeightInit::Gaussian { std } => {
+                for w in weights.iter_mut() {
+                    *w = (gaussian(&mut rng) * std) as f32;
+                }
+            }
+            WeightInit::Xavier => {
+                let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+                for w in weights.iter_mut() {
+                    *w = rng.gen_range(-a..a) as f32;
+                }
+            }
+            WeightInit::He => {
+                let std = (2.0 / fan_in as f64).sqrt();
+                for w in weights.iter_mut() {
+                    *w = (gaussian(&mut rng) * std) as f32;
+                }
+            }
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (rand 0.8 has no normal distribution in
+/// the core crate; this avoids pulling in rand_distr).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = vec![0f32; 64];
+        let mut b = vec![0f32; 64];
+        WeightInit::He.fill(&mut a, 9, 16, 42);
+        WeightInit::He.fill(&mut b, 9, 16, 42);
+        assert_eq!(a, b);
+        WeightInit::He.fill(&mut b, 9, 16, 43);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaussian_std_is_respected() {
+        let mut w = vec![0f32; 10_000];
+        WeightInit::Gaussian { std: 0.5 }.fill(&mut w, 1, 1, 7);
+        let mean = w.iter().map(|&x| x as f64).sum::<f64>() / w.len() as f64;
+        let var = w.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut w = vec![0f32; 1000];
+        WeightInit::Xavier.fill(&mut w, 100, 200, 1);
+        let a = (6.0f64 / 300.0).sqrt() as f32;
+        assert!(w.iter().all(|&x| x > -a && x < a));
+        assert!(w.iter().any(|&x| x.abs() > a / 2.0));
+    }
+
+    #[test]
+    fn he_scales_with_fan_in() {
+        let mut small = vec![0f32; 4096];
+        let mut large = vec![0f32; 4096];
+        WeightInit::He.fill(&mut small, 8, 1, 3);
+        WeightInit::He.fill(&mut large, 512, 1, 3);
+        let rms = |v: &[f32]| (v.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / v.len() as f64).sqrt();
+        assert!(rms(&small) > 4.0 * rms(&large));
+    }
+}

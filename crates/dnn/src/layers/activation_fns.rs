@@ -1,0 +1,177 @@
+use cdma_tensor::{Shape4, Tensor};
+
+use crate::{Layer, LayerKind, Mode};
+
+/// Saturating element-wise activation: sigmoid or tanh.
+///
+/// Section III of the paper draws the boundary of cDMA's applicability
+/// exactly here: "cDMA is less well-suited for RNNs based on LSTMs or GRUs,
+/// as they employ `sigmoid` and `tanh` activation functions rather than
+/// ReLUs." Sigmoid outputs are strictly positive and tanh outputs are zero
+/// only at exactly zero input, so neither produces the zero-valued
+/// activations ZVC compresses — the tests pin that down.
+#[derive(Debug)]
+pub struct Saturating {
+    name: String,
+    kind: SaturatingKind,
+    cached_output: Option<Tensor>,
+}
+
+/// Which saturating nonlinearity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaturatingKind {
+    /// Logistic sigmoid `1 / (1 + e^-x)`, range (0, 1).
+    Sigmoid,
+    /// Hyperbolic tangent, range (-1, 1).
+    Tanh,
+}
+
+impl Saturating {
+    /// Creates a sigmoid layer.
+    pub fn sigmoid(name: &str) -> Self {
+        Saturating {
+            name: name.to_owned(),
+            kind: SaturatingKind::Sigmoid,
+            cached_output: None,
+        }
+    }
+
+    /// Creates a tanh layer.
+    pub fn tanh(name: &str) -> Self {
+        Saturating {
+            name: name.to_owned(),
+            kind: SaturatingKind::Tanh,
+            cached_output: None,
+        }
+    }
+
+    /// The nonlinearity variant.
+    pub fn kind(&self) -> SaturatingKind {
+        self.kind
+    }
+}
+
+impl Layer for Saturating {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation
+    }
+
+    fn output_shape(&self, input: Shape4) -> Shape4 {
+        input
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            *v = match self.kind {
+                SaturatingKind::Sigmoid => 1.0 / (1.0 + (-*v).exp()),
+                SaturatingKind::Tanh => v.tanh(),
+            };
+        }
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(
+            y.len(),
+            grad_out.len(),
+            "layer {}: gradient length mismatch",
+            self.name
+        );
+        let mut dx = grad_out.clone();
+        for (g, &yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            let dydx = match self.kind {
+                SaturatingKind::Sigmoid => yv * (1.0 - yv),
+                SaturatingKind::Tanh => 1.0 - yv * yv,
+            };
+            *g *= dydx;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck;
+    use cdma_tensor::Layout;
+
+    fn input(seed: u64) -> Tensor {
+        let mut state = seed | 1;
+        Tensor::from_fn(Shape4::new(2, 3, 4, 4), Layout::Nchw, |_, _, _, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 400) as f32 / 100.0 - 2.0
+        })
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let mut s = Saturating::sigmoid("s");
+        let x = input(1);
+        let y = s.forward(&x, Mode::Train);
+        assert!(y.as_slice().iter().all(|&v| v > 0.0 && v < 1.0));
+        let mut z = Saturating::sigmoid("z");
+        let zero = Tensor::zeros(Shape4::new(1, 1, 1, 1), Layout::Nchw);
+        assert_eq!(z.forward(&zero, Mode::Train).as_slice(), &[0.5]);
+    }
+
+    #[test]
+    fn saturating_outputs_are_dense() {
+        // The paper's applicability boundary: no zeros => nothing for ZVC.
+        let x = input(3);
+        for mut layer in [Saturating::sigmoid("s"), Saturating::tanh("t")] {
+            let y = layer.forward(&x, Mode::Train);
+            assert_eq!(
+                y.density(),
+                1.0,
+                "{:?} produced zeros from non-zero input",
+                layer.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn relu_vs_sigmoid_density_contrast() {
+        use crate::Relu;
+        let x = input(5); // symmetric around zero
+        let relu_d = Relu::new("r").forward(&x, Mode::Train).density();
+        let sig_d = Saturating::sigmoid("s").forward(&x, Mode::Train).density();
+        assert!(relu_d < 0.65, "ReLU density {relu_d}");
+        assert_eq!(sig_d, 1.0);
+    }
+
+    #[test]
+    fn gradcheck_sigmoid() {
+        let mut s = Saturating::sigmoid("s");
+        gradcheck::check_input_gradient(&mut s, &input(7), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_tanh() {
+        let mut t = Saturating::tanh("t");
+        gradcheck::check_input_gradient(&mut t, &input(9), 2e-2);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let mut t = Saturating::tanh("t");
+        let x = Tensor::from_vec(
+            Shape4::new(1, 1, 1, 2),
+            Layout::Nchw,
+            vec![1.5, -1.5],
+        );
+        let y = t.forward(&x, Mode::Train);
+        assert!((y.as_slice()[0] + y.as_slice()[1]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,163 @@
+use cdma_tensor::{Shape4, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Layer, LayerKind, Mode};
+
+/// Inverted dropout (Srivastava et al. 2014), used on the paper's FC layers
+/// with rate 0.5 (Section VI, "Training methodology").
+///
+/// During training each activation is zeroed with probability `rate` and the
+/// survivors are scaled by `1/(1-rate)`, so evaluation is a pure identity.
+/// Note dropout *adds* activation sparsity on top of ReLU's — one more
+/// reason the paper's FC layers compress so well during training.
+#[derive(Debug)]
+pub struct Dropout {
+    name: String,
+    rate: f64,
+    rng: StdRng,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is in `[0, 1)`.
+    pub fn new(name: &str, rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
+        Dropout {
+            name: name.to_owned(),
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dropout
+    }
+
+    fn output_shape(&self, input: Shape4) -> Shape4 {
+        input
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        match mode {
+            Mode::Eval => {
+                self.mask = None;
+                input.clone()
+            }
+            Mode::Train => {
+                let keep_scale = (1.0 / (1.0 - self.rate)) as f32;
+                let mask: Vec<bool> = (0..input.len())
+                    .map(|_| self.rng.gen_range(0.0..1.0) >= self.rate)
+                    .collect();
+                let mut y = input.clone();
+                for (v, &keep) in y.as_mut_slice().iter_mut().zip(&mask) {
+                    *v = if keep { *v * keep_scale } else { 0.0 };
+                }
+                self.mask = Some(mask);
+                y
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                assert_eq!(
+                    mask.len(),
+                    grad_out.len(),
+                    "layer {}: gradient length mismatch",
+                    self.name
+                );
+                let keep_scale = (1.0 / (1.0 - self.rate)) as f32;
+                let mut dx = grad_out.clone();
+                for (g, &keep) in dx.as_mut_slice().iter_mut().zip(mask) {
+                    *g = if keep { *g * keep_scale } else { 0.0 };
+                }
+                dx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdma_tensor::Layout;
+
+    fn ones() -> Tensor {
+        Tensor::full(Shape4::new(2, 1, 16, 16), Layout::Nchw, 1.0)
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new("d", 0.5, 1);
+        let x = ones();
+        let y = d.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), x.as_slice());
+        // Backward with no mask is identity too.
+        let g = d.backward(&x);
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn train_mode_drops_roughly_rate() {
+        let mut d = Dropout::new("d", 0.5, 2);
+        let y = d.forward(&ones(), Mode::Train);
+        let density = y.density();
+        assert!((density - 0.5).abs() < 0.08, "density {density}");
+        // Survivors are scaled by 2x (inverted dropout).
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let mut d = Dropout::new("d", 0.3, 3);
+        let y = d.forward(&ones(), Mode::Train);
+        let mean = y.as_slice().iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new("d", 0.5, 4);
+        let y = d.forward(&ones(), Mode::Train);
+        let g = d.backward(&ones());
+        // Gradient flows exactly where the forward pass kept values.
+        for (gy, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*gy == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_rate_keeps_everything() {
+        let mut d = Dropout::new("d", 0.0, 5);
+        let y = d.forward(&ones(), Mode::Train);
+        assert_eq!(y.density(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn rate_one_rejected() {
+        let _ = Dropout::new("d", 1.0, 0);
+    }
+}

@@ -1,0 +1,244 @@
+use cdma_tensor::{Layout, Shape4, Tensor};
+
+use crate::{Layer, LayerKind, Mode, ParamRef, WeightInit};
+
+/// Fully-connected (classifier) layer: `y = W·x + b` over the flattened
+/// per-image activations.
+///
+/// The paper's networks end in FC layers whose outputs are the sparsest in
+/// the whole network ("fully-connected layers generally exhibiting much
+/// higher sparsity than the convolutional layers", Section IV-A) — their
+/// activations respond only to a handful of classes.
+#[derive(Debug)]
+pub struct FullyConnected {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    w_grads: Vec<f32>,
+    b_grads: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl FullyConnected {
+    /// Creates an FC layer with Xavier initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new(name: &str, in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(
+            in_features > 0 && out_features > 0,
+            "feature counts must be positive"
+        );
+        let mut weights = vec![0f32; out_features * in_features];
+        WeightInit::Xavier.fill(&mut weights, in_features, out_features, seed);
+        FullyConnected {
+            name: name.to_owned(),
+            in_features,
+            out_features,
+            w_grads: vec![0.0; weights.len()],
+            weights,
+            bias: vec![0.0; out_features],
+            b_grads: vec![0.0; out_features],
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count (`C·H·W` of the incoming activation maps).
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for FullyConnected {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::FullyConnected
+    }
+
+    fn output_shape(&self, input: Shape4) -> Shape4 {
+        assert_eq!(
+            input.per_image(),
+            self.in_features,
+            "layer {}: expected {} input features, got {} ({})",
+            self.name,
+            self.in_features,
+            input.per_image(),
+            input
+        );
+        Shape4::fc(input.n, self.out_features)
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let s = input.shape();
+        let os = self.output_shape(s);
+        let xs = input.as_slice();
+        let mut y = Tensor::zeros(os, Layout::Nchw);
+        {
+            let ys = y.as_mut_slice();
+            for n in 0..s.n {
+                let xrow = &xs[n * self.in_features..(n + 1) * self.in_features];
+                let yrow = &mut ys[n * self.out_features..(n + 1) * self.out_features];
+                for (o, yv) in yrow.iter_mut().enumerate() {
+                    let wrow = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+                    let mut acc = self.bias[o];
+                    for (x, w) in xrow.iter().zip(wrow) {
+                        acc += x * w;
+                    }
+                    *yv = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward")
+            .clone();
+        let s = x.shape();
+        assert_eq!(
+            grad_out.shape(),
+            self.output_shape(s),
+            "layer {}: gradient shape mismatch",
+            self.name
+        );
+        let xs = x.as_slice();
+        let gs = grad_out.as_slice();
+        let mut dx = Tensor::zeros(s, Layout::Nchw);
+        let dxs = dx.as_mut_slice();
+        for n in 0..s.n {
+            let xrow = &xs[n * self.in_features..(n + 1) * self.in_features];
+            let grow = &gs[n * self.out_features..(n + 1) * self.out_features];
+            let dxrow = &mut dxs[n * self.in_features..(n + 1) * self.in_features];
+            for (o, &g) in grow.iter().enumerate() {
+                self.b_grads[o] += g;
+                if g == 0.0 {
+                    continue;
+                }
+                let wrow = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+                let wgrow = &mut self.w_grads[o * self.in_features..(o + 1) * self.in_features];
+                for i in 0..self.in_features {
+                    wgrow[i] += g * xrow[i];
+                    dxrow[i] += g * wrow[i];
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef {
+                values: &mut self.weights,
+                grads: &mut self.w_grads,
+            },
+            ParamRef {
+                values: &mut self.bias,
+                grads: &mut self.b_grads,
+            },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn zero_grads(&mut self) {
+        self.w_grads.iter_mut().for_each(|g| *g = 0.0);
+        self.b_grads.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck;
+
+    fn input(seed: u64) -> Tensor {
+        let mut state = seed | 1;
+        Tensor::from_fn(Shape4::new(3, 2, 2, 2), Layout::Nchw, |_, _, _, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 100) as f32 / 50.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn output_shape_flattens() {
+        let fc = FullyConnected::new("fc", 8, 5, 0);
+        assert_eq!(
+            fc.output_shape(Shape4::new(3, 2, 2, 2)),
+            Shape4::fc(3, 5)
+        );
+    }
+
+    #[test]
+    fn identity_weights_pass_features() {
+        let mut fc = FullyConnected::new("fc", 4, 4, 0);
+        {
+            let mut params = fc.params_mut();
+            params[0].values.iter_mut().for_each(|w| *w = 0.0);
+            for i in 0..4 {
+                params[0].values[i * 4 + i] = 1.0;
+            }
+        }
+        let x = Tensor::from_vec(
+            Shape4::new(1, 4, 1, 1),
+            Layout::Nchw,
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        let y = fc.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn gradcheck_input() {
+        let mut fc = FullyConnected::new("fc", 8, 6, 21);
+        gradcheck::check_input_gradient(&mut fc, &input(4), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_params() {
+        let mut fc = FullyConnected::new("fc", 8, 6, 23);
+        gradcheck::check_param_gradient(&mut fc, &input(6), 2e-2);
+    }
+
+    #[test]
+    fn batch_rows_are_independent() {
+        let mut fc = FullyConnected::new("fc", 8, 3, 31);
+        let x = input(8);
+        let y_full = fc.forward(&x, Mode::Train);
+        // Forward one image alone: same result as its batch row.
+        let x0 = Tensor::from_vec(
+            Shape4::new(1, 2, 2, 2),
+            Layout::Nchw,
+            x.as_slice()[..8].to_vec(),
+        );
+        let y0 = fc.forward(&x0, Mode::Train);
+        for i in 0..3 {
+            assert!((y_full.as_slice()[i] - y0.as_slice()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn wrong_feature_count_rejected() {
+        let fc = FullyConnected::new("fc", 8, 3, 0);
+        let _ = fc.output_shape(Shape4::new(1, 3, 2, 2));
+    }
+}

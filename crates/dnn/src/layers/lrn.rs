@@ -1,0 +1,208 @@
+use cdma_tensor::{Layout, Shape4, Tensor};
+
+use crate::{Layer, LayerKind, Mode};
+
+/// Local response normalization across channels (AlexNet's `norm` layers).
+///
+/// `y_i = x_i / (k + (α/n)·Σ_j x_j²)^β` where the sum runs over the `n`
+/// channels centred on `i`. LRN keeps zero activations zero (it is a
+/// positive scaling), so it is density-neutral — which is why the paper's
+/// Fig. 4 can omit it while still accounting for every sparsity transition.
+#[derive(Debug)]
+pub struct Lrn {
+    name: String,
+    /// Window size `n` (channels).
+    size: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+    cached: Option<LrnCache>,
+}
+
+#[derive(Debug)]
+struct LrnCache {
+    input: Tensor,
+    /// `scale_i = k + (α/n)·Σ x_j²` per element.
+    scale: Vec<f32>,
+}
+
+impl Lrn {
+    /// Creates an LRN layer with AlexNet's hyper-parameters (`n`=5,
+    /// `α`=1e-4, `β`=0.75, `k`=2 — Krizhevsky et al. 2012).
+    pub fn alexnet(name: &str) -> Self {
+        Lrn::new(name, 5, 1e-4, 0.75, 2.0)
+    }
+
+    /// Creates an LRN layer with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or even (the window must be centred).
+    pub fn new(name: &str, size: usize, alpha: f32, beta: f32, k: f32) -> Self {
+        assert!(size % 2 == 1, "LRN window must be odd, got {size}");
+        Lrn {
+            name: name.to_owned(),
+            size,
+            alpha,
+            beta,
+            k,
+            cached: None,
+        }
+    }
+}
+
+impl Layer for Lrn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Norm
+    }
+
+    fn output_shape(&self, input: Shape4) -> Shape4 {
+        input
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let s = input.shape();
+        let xs = input.as_slice();
+        let (sn, sc, sh, _) = Layout::Nchw.strides(s);
+        let half = self.size / 2;
+        let mut scale = vec![0f32; input.len()];
+        let mut y = Tensor::zeros(s, Layout::Nchw);
+        {
+            let ys = y.as_mut_slice();
+            for n in 0..s.n {
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        let pix = n * sn + h * sh + w;
+                        for c in 0..s.c {
+                            let lo = c.saturating_sub(half);
+                            let hi = (c + half).min(s.c - 1);
+                            let mut sum = 0f32;
+                            for j in lo..=hi {
+                                let v = xs[pix + j * sc];
+                                sum += v * v;
+                            }
+                            let sc_v = self.k + self.alpha / self.size as f32 * sum;
+                            let idx = pix + c * sc;
+                            scale[idx] = sc_v;
+                            ys[idx] = xs[idx] * sc_v.powf(-self.beta);
+                        }
+                    }
+                }
+            }
+        }
+        self.cached = Some(LrnCache {
+            input: input.clone(),
+            scale,
+        });
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cached.as_ref().expect("backward called before forward");
+        let s = cache.input.shape();
+        assert_eq!(
+            grad_out.shape(),
+            s,
+            "layer {}: gradient shape mismatch",
+            self.name
+        );
+        let xs = cache.input.as_slice();
+        let gs = grad_out.as_slice();
+        let scale = &cache.scale;
+        let (sn, sc, sh, _) = Layout::Nchw.strides(s);
+        let half = self.size / 2;
+        let coeff = 2.0 * self.alpha * self.beta / self.size as f32;
+        let mut dx = Tensor::zeros(s, Layout::Nchw);
+        let dxs = dx.as_mut_slice();
+        for n in 0..s.n {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    let pix = n * sn + h * sh + w;
+                    // For each output channel i, distribute its gradient to
+                    // every input channel j inside its window.
+                    for i in 0..s.c {
+                        let ii = pix + i * sc;
+                        let g = gs[ii];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let sc_i = scale[ii];
+                        let common = g * sc_i.powf(-self.beta - 1.0) * coeff * xs[ii];
+                        dxs[ii] += g * sc_i.powf(-self.beta);
+                        let lo = i.saturating_sub(half);
+                        let hi = (i + half).min(s.c - 1);
+                        for j in lo..=hi {
+                            let jj = pix + j * sc;
+                            dxs[jj] -= common * xs[jj];
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck;
+
+    fn input(seed: u64) -> Tensor {
+        let mut state = seed | 1;
+        Tensor::from_fn(Shape4::new(2, 7, 3, 3), Layout::Nchw, |_, _, _, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 100) as f32 / 25.0 - 2.0
+        })
+    }
+
+    #[test]
+    fn zeros_stay_zero() {
+        let mut lrn = Lrn::alexnet("n");
+        let mut x = input(1);
+        x.as_mut_slice()[..20].iter_mut().for_each(|v| *v = 0.0);
+        let y = lrn.forward(&x, Mode::Train);
+        assert!(y.as_slice()[..20].iter().all(|&v| v == 0.0));
+        assert_eq!(x.count_nonzero(), y.count_nonzero());
+    }
+
+    #[test]
+    fn normalization_shrinks_large_responses() {
+        let mut lrn = Lrn::new("n", 3, 1.0, 0.75, 1.0);
+        let x = Tensor::full(Shape4::new(1, 3, 1, 1), Layout::Nchw, 3.0);
+        let y = lrn.forward(&x, Mode::Train);
+        // scale = 1 + (1/3)*sum(9,9[,9]) — centre channel sees all three.
+        assert!(y.as_slice().iter().all(|&v| v < 3.0 && v > 0.0));
+        // Centre channel has the largest window sum, so smallest output.
+        assert!(y.get(0, 1, 0, 0) < y.get(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn unit_params_identity_when_alpha_zero() {
+        let mut lrn = Lrn::new("n", 3, 0.0, 0.75, 1.0);
+        let x = input(5);
+        let y = lrn.forward(&x, Mode::Train);
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradcheck_lrn() {
+        // Larger alpha so the normalization term actually matters.
+        let mut lrn = Lrn::new("n", 3, 0.1, 0.75, 2.0);
+        gradcheck::check_input_gradient(&mut lrn, &input(7), 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_window_rejected() {
+        let _ = Lrn::new("n", 4, 1.0, 0.75, 1.0);
+    }
+}

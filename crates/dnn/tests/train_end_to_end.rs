@@ -1,0 +1,107 @@
+//! End-to-end training on the synthetic dataset: the network must genuinely
+//! learn, and its post-ReLU activation density must show the training-time
+//! dynamics the cDMA paper characterizes in Section IV.
+
+use cdma_dnn::{
+    chance_loss, Conv2d, FullyConnected, Pool, PoolKind, Relu, Sequential, Sgd, Trainer,
+};
+use cdma_dnn::synthetic::SyntheticImages;
+
+fn build_net(seed: u64) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Conv2d::new("conv0", 1, 8, 3, 1, 1, seed));
+    net.push(Relu::new("relu0"));
+    net.push(Pool::new("pool0", PoolKind::Max, 2, 2)); // 16 -> 8
+    net.push(Conv2d::new("conv1", 8, 16, 3, 1, 1, seed + 1));
+    net.push(Relu::new("relu1"));
+    net.push(Pool::new("pool1", PoolKind::Max, 2, 2)); // 8 -> 4
+    net.push(FullyConnected::new("fc1", 16 * 4 * 4, 4, seed + 2));
+    net
+}
+
+#[test]
+fn network_learns_synthetic_classes() {
+    let mut data = SyntheticImages::new(4, 1, 16, 42);
+    let mut trainer = Trainer::new(build_net(7), Sgd::new(0.03, 0.9, 1e-4));
+
+    // Baseline: untrained accuracy is chance.
+    let (val_x, val_y) = data.batch(64);
+    let (loss0, acc0) = trainer.evaluate(&val_x, &val_y);
+    assert!((loss0 - chance_loss(4)).abs() < 0.8, "untrained loss {loss0}");
+    assert!(acc0 < 0.6, "untrained accuracy {acc0}");
+
+    let mut losses = Vec::new();
+    for _ in 0..250 {
+        let (x, y) = data.batch(16);
+        losses.push(trainer.train_step(&x, &y));
+    }
+    let early: f64 = losses[..25].iter().sum::<f64>() / 25.0;
+    let late: f64 = losses[losses.len() - 25..].iter().sum::<f64>() / 25.0;
+    assert!(
+        late < 0.6 * early,
+        "training loss should fall substantially: {early:.3} -> {late:.3}"
+    );
+
+    // Held-out accuracy well above the 25% chance level.
+    let (test_x, test_y) = data.batch(128);
+    let (_, acc) = trainer.evaluate(&test_x, &test_y);
+    assert!(acc > 0.6, "trained accuracy only {acc}");
+}
+
+#[test]
+fn relu_density_starts_near_half_and_drops() {
+    // Fig. 4's two key facts, measured on a *really trained* network:
+    // (1) a freshly initialized ReLU layer sits near 50% density;
+    // (2) density falls in the early phase of training.
+    let mut data = SyntheticImages::new(4, 1, 16, 1);
+    let mut trainer = Trainer::new(build_net(3), Sgd::new(0.03, 0.9, 1e-4));
+
+    let (probe_x, _) = data.batch(32);
+    let initial: Vec<_> = trainer.measure_densities(&probe_x);
+    let d0: f64 = initial
+        .iter()
+        .filter(|s| s.layer.starts_with("relu"))
+        .map(|s| s.density)
+        .sum::<f64>()
+        / 2.0;
+    assert!(
+        (d0 - 0.5).abs() < 0.2,
+        "fresh post-ReLU density should be near 50%, got {d0}"
+    );
+
+    let mut min_density = d0;
+    for step in 0..400 {
+        let (x, y) = data.batch(16);
+        let _ = trainer.train_step(&x, &y);
+        if step % 25 == 24 {
+            let samples = trainer.measure_densities(&probe_x);
+            let d: f64 = samples
+                .iter()
+                .filter(|s| s.layer.starts_with("relu"))
+                .map(|s| s.density)
+                .sum::<f64>()
+                / 2.0;
+            min_density = min_density.min(d);
+        }
+    }
+    assert!(
+        min_density < d0 - 0.02,
+        "density should drop during training: start {d0:.3}, min {min_density:.3}"
+    );
+}
+
+#[test]
+fn pooling_increases_density_on_trained_net() {
+    // The paper's "pooling layers always increase activation density".
+    let mut data = SyntheticImages::new(4, 1, 16, 5);
+    let mut trainer = Trainer::new(build_net(11), Sgd::new(0.03, 0.9, 1e-4));
+    for _ in 0..150 {
+        let (x, y) = data.batch(16);
+        let _ = trainer.train_step(&x, &y);
+    }
+    let (probe_x, _) = data.batch(32);
+    let samples = trainer.measure_densities(&probe_x);
+    let by_name = |n: &str| samples.iter().find(|s| s.layer == n).unwrap().density;
+    assert!(by_name("pool0") >= by_name("relu0"));
+    assert!(by_name("pool1") >= by_name("relu1"));
+}

@@ -1,0 +1,91 @@
+//! Area-overhead model of the cDMA hardware (Section V-C).
+//!
+//! The paper estimates the six (de)compression units with the FreePDK 45 nm
+//! process design kit, scaled to 28 nm with a conservative 0.46× cell-size
+//! reduction and 50% cell-area utilization (the design is dominated by wires
+//! and MUXes), arriving at 0.31 mm². The 70 KB DMA buffer adds ~0.21 mm²
+//! (CACTI 5.3) — both negligible against the 600 mm² Titan X die.
+
+/// Area parameters mirroring Section V-C.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Synthesized area of one (de)compression unit at 45 nm, mm².
+    pub unit_area_45nm: f64,
+    /// Linear cell-size scaling factor from 45 nm to the target node.
+    pub node_scaling: f64,
+    /// Cell-area utilization (0.5: wires/MUX dominated).
+    pub utilization: f64,
+    /// SRAM density of the buffer macro at the target node, mm² per KB.
+    pub sram_mm2_per_kb: f64,
+    /// Reference die area for overhead percentages, mm².
+    pub die_area: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        // unit_area_45nm is back-derived from the paper's 0.31 mm² total:
+        // 6 units x a45 x 0.46 / 0.5 = 0.31 -> a45 ≈ 0.0562 mm².
+        AreaModel {
+            unit_area_45nm: 0.0562,
+            node_scaling: 0.46,
+            utilization: 0.5,
+            sram_mm2_per_kb: 0.0030, // 70 KB -> ~0.21 mm² (CACTI 5.3, 28 nm)
+            die_area: 600.0,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Area of `units` (de)compression engines at the target node, mm².
+    pub fn engines_mm2(&self, units: usize) -> f64 {
+        units as f64 * self.unit_area_45nm * self.node_scaling / self.utilization
+    }
+
+    /// Area of a `buffer_kb` KB DMA staging buffer, mm².
+    pub fn buffer_mm2(&self, buffer_kb: f64) -> f64 {
+        buffer_kb * self.sram_mm2_per_kb
+    }
+
+    /// Total cDMA area overhead, mm².
+    pub fn total_mm2(&self, units: usize, buffer_kb: f64) -> f64 {
+        self.engines_mm2(units) + self.buffer_mm2(buffer_kb)
+    }
+
+    /// Overhead as a fraction of the reference die.
+    pub fn die_fraction(&self, units: usize, buffer_kb: f64) -> f64 {
+        self.total_mm2(units, buffer_kb) / self.die_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_match_paper_031mm2() {
+        let m = AreaModel::default();
+        let a = m.engines_mm2(6);
+        assert!((a - 0.31).abs() < 0.01, "engines {a} mm²");
+    }
+
+    #[test]
+    fn buffer_matches_paper_021mm2() {
+        let m = AreaModel::default();
+        let a = m.buffer_mm2(70.0);
+        assert!((a - 0.21).abs() < 0.01, "buffer {a} mm²");
+    }
+
+    #[test]
+    fn overhead_is_negligible_vs_die() {
+        // "the added overheads ... are negligible" vs 600 mm².
+        let m = AreaModel::default();
+        let frac = m.die_fraction(6, 70.0);
+        assert!(frac < 0.001, "die fraction {frac}");
+    }
+
+    #[test]
+    fn area_scales_linearly_with_units() {
+        let m = AreaModel::default();
+        assert!((m.engines_mm2(12) - 2.0 * m.engines_mm2(6)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,48 @@
+//! # cdma-gpusim — GPU memory-subsystem and cDMA hardware models
+//!
+//! Section V of the paper embeds (de)compression units next to the GPU's
+//! memory controllers and provisions the DMA engine with a buffer sized to
+//! the bandwidth-delay product of the memory system. This crate models that
+//! hardware:
+//!
+//! * [`SystemConfig`] — the evaluated platform (Titan X Maxwell: 336 GB/s
+//!   GDDR5, PCIe gen3 at 16 GB/s, 350 ns memory latency, 200 GB/s
+//!   provisioned compression read bandwidth);
+//! * [`ZvcEngine`] — the cycle model of Fig. 10's 3-stage, 32 B/cycle
+//!   compression pipeline (6 cycles per 128 B line) and its 2-cycle-latency
+//!   decompression counterpart;
+//! * [`OffloadSim`] — a discrete-event simulation of the offload path
+//!   (DRAM fetch → per-MC compression → crossbar → DMA buffer → PCIe),
+//!   reproducing the buffer-sizing and bandwidth-provisioning analysis of
+//!   Sections V-B/V-C;
+//! * [`area`] — the FreePDK45-scaled engine area and CACTI-style buffer
+//!   area estimates (0.31 mm² + 0.21 mm² vs a 600 mm² die);
+//! * [`energy`] — the per-bit transfer-energy comparison of Section VII-C.
+//!
+//! ```
+//! use cdma_gpusim::{OffloadSim, SystemConfig};
+//!
+//! let cfg = SystemConfig::titan_x_pcie3();
+//! // Offload 64 MB of 2.6x-compressible activations.
+//! let result = OffloadSim::new(cfg).run_uniform(64 << 20, 2.6);
+//! // The PCIe link, not DRAM, is the bottleneck: the transfer completes
+//! // ~2.6x faster than an uncompressed copy would.
+//! let uncompressed = (64u64 << 20) as f64 / cfg.pcie_bw;
+//! assert!(result.total_time < uncompressed / 2.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod area;
+mod config;
+pub mod dram_store;
+mod dma;
+mod engine;
+pub mod energy;
+pub mod pipeline;
+
+pub use config::{LinkKind, SystemConfig};
+pub use dma::{OffloadSim, OffloadSimResult};
+pub use engine::ZvcEngine;
+pub use dram_store::CompressedDramStore;
+pub use pipeline::{ZvcCompressPipeline, ZvcDecompressPipeline};

@@ -1,0 +1,88 @@
+//! Property tests: conservation and monotonicity invariants of the
+//! discrete-event offload pipeline and the engine cycle models.
+
+use cdma_gpusim::{OffloadSim, SystemConfig, ZvcEngine};
+use proptest::prelude::*;
+
+fn line_sets() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec(
+        (1u32..=4096, 0.02f64..1.2).prop_map(|(u, frac)| {
+            let c = ((u as f64 * frac).ceil() as u32).max(1);
+            (u, c)
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Byte accounting is conserved: the sim reports exactly the bytes fed.
+    #[test]
+    fn byte_conservation(lines in line_sets()) {
+        let r = OffloadSim::new(SystemConfig::titan_x_pcie3()).run_lines(&lines);
+        let u: u64 = lines.iter().map(|&(u, _)| u as u64).sum();
+        let c: u64 = lines.iter().map(|&(_, c)| c as u64).sum();
+        prop_assert_eq!(r.uncompressed_bytes, u);
+        prop_assert_eq!(r.compressed_bytes, c);
+    }
+
+    /// Physical lower bounds always hold: the transfer can be no faster
+    /// than the link moving the compressed bytes, the read path moving the
+    /// uncompressed bytes, or one memory latency.
+    #[test]
+    fn physical_lower_bounds(lines in line_sets()) {
+        let cfg = SystemConfig::titan_x_pcie3();
+        let r = OffloadSim::new(cfg).run_lines(&lines);
+        let link = r.compressed_bytes as f64 / cfg.pcie_bw;
+        let read = r.uncompressed_bytes as f64 / cfg.usable_comp_bw();
+        prop_assert!(r.total_time >= link * 0.999, "{} < {}", r.total_time, link);
+        prop_assert!(r.total_time >= read * 0.999);
+        prop_assert!(r.total_time >= cfg.mem_latency);
+        prop_assert!(r.link_utilization() <= 1.0 + 1e-9);
+    }
+
+    /// The DMA buffer never exceeds its capacity, for any traffic mix.
+    #[test]
+    fn buffer_capacity_respected(lines in line_sets()) {
+        let cfg = SystemConfig::titan_x_pcie3();
+        let r = OffloadSim::new(cfg).run_lines(&lines);
+        prop_assert!(
+            r.max_buffer_occupancy <= cfg.dma_buffer as f64 + 1.0,
+            "occupancy {} > buffer {}",
+            r.max_buffer_occupancy,
+            cfg.dma_buffer
+        );
+    }
+
+    /// Better compression never slows an offload down (uniform-ratio case).
+    #[test]
+    fn monotone_in_ratio(bytes in 1u64..(8 << 20), r1 in 1.0f64..4.0, r2 in 1.0f64..4.0) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let sim = OffloadSim::new(SystemConfig::titan_x_pcie3());
+        let t_lo = sim.run_uniform(bytes, lo).total_time;
+        let t_hi = sim.run_uniform(bytes, hi).total_time;
+        prop_assert!(t_hi <= t_lo * 1.001, "ratio {hi} slower than {lo}: {t_hi} vs {t_lo}");
+    }
+
+    /// A bigger buffer never hurts.
+    #[test]
+    fn monotone_in_buffer(bytes in 1u64..(4 << 20), ratio in 1.0f64..16.0, kb in 8usize..70) {
+        let base = SystemConfig::titan_x_pcie3();
+        let small = SystemConfig { dma_buffer: kb * 1024, ..base };
+        let t_small = OffloadSim::new(small).run_uniform(bytes, ratio).total_time;
+        let t_big = OffloadSim::new(base).run_uniform(bytes, ratio).total_time;
+        prop_assert!(t_big <= t_small * 1.001);
+    }
+
+    /// Engine cycle counts: streaming n sectors is always cheaper than
+    /// n separate lines, and throughput-consistent.
+    #[test]
+    fn engine_cycles_pipeline_properly(sectors in 1usize..500) {
+        let e = ZvcEngine::new(1e9);
+        let streamed = e.compress_cycles(sectors * 32);
+        let separate = sectors as u64 * e.compress_cycles(32);
+        prop_assert!(streamed <= separate);
+        prop_assert_eq!(streamed, 3 + sectors as u64 - 1);
+    }
+}

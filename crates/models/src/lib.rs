@@ -1,0 +1,36 @@
+//! # cdma-models — the six networks of the cDMA paper's evaluation
+//!
+//! Section VI evaluates cDMA on AlexNet, OverFeat, NiN, VGG, SqueezeNet and
+//! GoogLeNet (Table I). This crate provides three views of those networks:
+//!
+//! * [`NetworkSpec`] — exact **layer-shape/FLOP specifications** at
+//!   ImageNet scale (the published architectures, batch sizes from Table I).
+//!   These drive the traffic and performance models: activation-map byte
+//!   counts are architecture facts that transfer exactly, even though we
+//!   train substitutes rather than the originals (see DESIGN.md).
+//! * [`profiles::density_profile`] — per-layer **density trajectories**
+//!   calibrated to the paper's Section IV measurements (conv0 pinned at
+//!   ~50%, pooling densification, deeper-is-sparser, the U-curve over
+//!   training, per-network averages matching the reported sparsity levels).
+//! * [`tiny`] — small **trainable** counterparts built on `cdma-dnn`, used
+//!   by tests and examples to reproduce the dynamics with real training.
+//!
+//! ```
+//! use cdma_models::zoo;
+//!
+//! let alexnet = zoo::alexnet();
+//! assert_eq!(alexnet.batch(), 256);
+//! // conv0 output: 96 channels of 55x55.
+//! let conv0 = &alexnet.layers()[0];
+//! assert_eq!((conv0.out.c, conv0.out.h, conv0.out.w), (96, 55, 55));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod profiles;
+pub mod rnn;
+mod spec;
+pub mod tiny;
+pub mod zoo;
+
+pub use spec::{LayerSpec, NetworkSpec, PoolFlavor, SpecBuilder, SpecKind};

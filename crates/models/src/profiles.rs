@@ -1,0 +1,390 @@
+//! Calibrated per-layer density trajectories for the six networks.
+//!
+//! We cannot train ImageNet models in this environment, so the Section IV
+//! density measurements are reproduced by a *calibrated model* (see
+//! DESIGN.md). The calibration encodes the paper's qualitative findings as
+//! rules and pins the quantitative anchors the paper reports:
+//!
+//! * conv0 stays within ±2% of 50% density throughout training (Fig. 4);
+//! * pooling increases density (output zero only if its whole window is);
+//! * deeper layers are sparser (class-specific features);
+//! * fc layers are the sparsest of all;
+//! * every ReLU layer follows the U-shaped curve of Fig. 7;
+//! * each network's element-weighted, training-averaged density matches the
+//!   paper's aggregate (AlexNet 49.4% sparsity; 62% average and up to 93%
+//!   sparsity across the six networks).
+
+use cdma_sparsity::DensityTrajectory;
+
+use crate::{LayerSpec, NetworkSpec, PoolFlavor, SpecKind};
+
+/// A layer's density trajectory plus its offload weight.
+#[derive(Debug, Clone)]
+pub struct LayerDensity {
+    /// Layer name (matches [`LayerSpec::name`]).
+    pub layer: String,
+    /// Density over training progress.
+    pub trajectory: DensityTrajectory,
+    /// Activation elements per minibatch (the weighting for network-wide
+    /// aggregates, per Section IV-A).
+    pub elements: u64,
+}
+
+/// The density model of one network.
+#[derive(Debug, Clone)]
+pub struct NetworkProfile {
+    network: &'static str,
+    layers: Vec<LayerDensity>,
+}
+
+impl NetworkProfile {
+    /// Network name.
+    pub fn network(&self) -> &'static str {
+        self.network
+    }
+
+    /// Per-layer densities.
+    pub fn layers(&self) -> &[LayerDensity] {
+        &self.layers
+    }
+
+    /// Trajectory of one layer.
+    pub fn trajectory(&self, layer: &str) -> Option<&DensityTrajectory> {
+        self.layers
+            .iter()
+            .find(|l| l.layer == layer)
+            .map(|l| &l.trajectory)
+    }
+
+    /// Element-weighted network density at training progress `t`.
+    pub fn network_density_at(&self, t: f64) -> f64 {
+        let total: u64 = self.layers.iter().map(|l| l.elements).sum();
+        let nonzero: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.trajectory.density_at(t) * l.elements as f64)
+            .sum();
+        nonzero / total as f64
+    }
+
+    /// Element-weighted density averaged over the whole training run — the
+    /// quantity behind the paper's "average 62% network-wide sparsity".
+    pub fn mean_network_density(&self) -> f64 {
+        let total: u64 = self.layers.iter().map(|l| l.elements).sum();
+        let nonzero: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.trajectory.mean_density() * l.elements as f64)
+            .sum();
+        nonzero / total as f64
+    }
+
+    /// Per-layer `(name, density)` at training progress `t`.
+    pub fn densities_at(&self, t: f64) -> Vec<(String, f64)> {
+        self.layers
+            .iter()
+            .map(|l| (l.layer.clone(), l.trajectory.density_at(t)))
+            .collect()
+    }
+}
+
+/// Training-averaged, element-weighted target density per network. These
+/// anchor the calibration to the paper's aggregate sparsity numbers: AlexNet
+/// is explicitly 49.4% sparse (Section IV-A); the 1×1-heavy and very deep
+/// networks (SqueezeNet, GoogLeNet) sit at the sparse end, producing the
+/// network spread behind Fig. 11's per-network compression ratios.
+pub fn target_mean_density(network: &str) -> f64 {
+    match network {
+        "AlexNet" => 0.506,
+        "OverFeat" => 0.380,
+        "NiN" => 0.420,
+        "VGG" => 0.350,
+        "SqueezeNet" => 0.280,
+        "GoogLeNet" => 0.310,
+        _ => 0.400,
+    }
+}
+
+/// Builds the calibrated density profile of a network.
+pub fn density_profile(spec: &NetworkSpec) -> NetworkProfile {
+    let mut layers = raw_profile(spec);
+    let target = target_mean_density(spec.name());
+    // Normalize adjustable layers so the network aggregate hits the target.
+    // conv0 (pinned at 0.5) and dense layers (density 1.0) do not move, so
+    // a few fixed-point iterations absorb the clamping.
+    for _ in 0..4 {
+        let current = weighted_mean(&layers);
+        let m = target / current;
+        if (m - 1.0).abs() < 1e-3 {
+            break;
+        }
+        for (i, spec_layer) in spec.layers().iter().enumerate() {
+            if !is_adjustable(spec, i, spec_layer) {
+                continue;
+            }
+            layers[i].trajectory = scale_trajectory(&layers[i].trajectory, m);
+        }
+    }
+    NetworkProfile {
+        network: spec.name(),
+        layers,
+    }
+}
+
+fn weighted_mean(layers: &[LayerDensity]) -> f64 {
+    let total: u64 = layers.iter().map(|l| l.elements).sum();
+    layers
+        .iter()
+        .map(|l| l.trajectory.mean_density() * l.elements as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+/// conv0 is pinned by the paper; dense (non-ReLU) layers are facts of the
+/// architecture; everything else calibrates.
+fn is_adjustable(spec: &NetworkSpec, index: usize, layer: &LayerSpec) -> bool {
+    if index == first_conv_index(spec) {
+        return false;
+    }
+    layer.relu || layer.is_pool()
+}
+
+fn first_conv_index(spec: &NetworkSpec) -> usize {
+    spec.layers()
+        .iter()
+        .position(|l| l.is_conv())
+        .unwrap_or(0)
+}
+
+fn scale_trajectory(t: &DensityTrajectory, m: f64) -> DensityTrajectory {
+    let clamp = |d: f64| (d * m).clamp(0.02, 0.98);
+    let d_init = clamp(t.initial());
+    let d_final = clamp(t.final_density());
+    let d_min = clamp(t.minimum()).min(d_init).min(d_final);
+    DensityTrajectory::new(d_init, d_min, d_final, 0.35)
+}
+
+/// First-pass trajectories from the qualitative rules.
+fn raw_profile(spec: &NetworkSpec) -> Vec<LayerDensity> {
+    let batch = spec.batch();
+    let relu_layers: Vec<usize> = spec
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.relu)
+        .map(|(i, _)| i)
+        .collect();
+    let relu_count = relu_layers.len().max(1);
+    let first_conv = first_conv_index(spec);
+
+    let mut out: Vec<LayerDensity> = Vec::with_capacity(spec.layers().len());
+    for (i, layer) in spec.layers().iter().enumerate() {
+        let trajectory = if i == first_conv {
+            // Fig. 4: conv0 always within ±2% of 50% density.
+            DensityTrajectory::flat(0.5)
+        } else if layer.relu {
+            // Depth fraction among ReLU layers: deeper => sparser.
+            let depth = relu_layers.iter().position(|&j| j == i).unwrap_or(0) as f64
+                / relu_count as f64;
+            let j = jitter(&layer.name);
+            if layer.is_fc() {
+                // FC layers: the sparsest (Section IV-A).
+                let d_final = 0.12 + 0.08 * j;
+                DensityTrajectory::new(0.5, 0.03 + 0.02 * j, d_final, 0.3)
+            } else {
+                let d_final = (0.55 - 0.33 * depth + 0.08 * (j - 0.5)).clamp(0.08, 0.9);
+                let d_min = d_final * (0.40 + 0.20 * (1.0 - depth));
+                let d_init = 0.50 + 0.12 * depth;
+                DensityTrajectory::new(d_init, d_min.min(d_init).min(d_final), d_final, 0.35)
+            }
+        } else if layer.is_pool() {
+            // Pool output density from the nearest upstream sparse layer,
+            // boosted by the window semantics.
+            let upstream = spec.layers()[..i]
+                .iter()
+                .rev()
+                .find(|l| l.relu)
+                .map(|l| l.name.clone());
+            let base = upstream
+                .and_then(|name| {
+                    out.iter()
+                        .find(|ld| ld.layer == name)
+                        .map(|ld| ld.trajectory)
+                })
+                .unwrap_or_else(|| DensityTrajectory::flat(0.5));
+            let alpha = pool_alpha(layer);
+            let boost = |d: f64| 1.0 - (1.0 - d).powf(alpha);
+            DensityTrajectory::new(
+                boost(base.initial()),
+                boost(base.minimum()),
+                boost(base.final_density()),
+                0.35,
+            )
+        } else {
+            // Norm layers, dense classifier outputs: fully dense.
+            DensityTrajectory::flat(1.0)
+        };
+        out.push(LayerDensity {
+            layer: layer.name.clone(),
+            trajectory,
+            elements: layer.activation_elems(batch),
+        });
+    }
+    out
+}
+
+/// Window-dependent densification exponent: the probability that a pooled
+/// output is zero is (roughly) the probability the whole window is zero,
+/// which for clustered sparsity behaves like `sparsity^alpha` with `alpha`
+/// growing with window size. Average pooling over a global window is almost
+/// surely non-zero.
+fn pool_alpha(layer: &LayerSpec) -> f64 {
+    match layer.kind {
+        SpecKind::Pool {
+            flavor: PoolFlavor::Avg,
+            window,
+            ..
+        } if window >= 6 => 8.0,
+        SpecKind::Pool { window, .. } => 1.0 + 0.4 * (window * window) as f64 / window as f64,
+        _ => 1.0,
+    }
+}
+
+/// Deterministic per-layer jitter in `[0, 1)` so sibling layers (conv2 vs
+/// conv3) do not share identical curves, matching the wiggle in Fig. 4.
+fn jitter(name: &str) -> f64 {
+    let mut h = 1469598103934665603u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(1099511628211);
+    }
+    (h % 10_000) as f64 / 10_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn alexnet_mean_density_matches_paper() {
+        // "AlexNet exhibits an average 49.4% activation sparsity across the
+        // entire network when accounting for the size of each layer."
+        let profile = density_profile(&zoo::alexnet());
+        let d = profile.mean_network_density();
+        assert!(
+            (d - 0.506).abs() < 0.03,
+            "AlexNet mean density {d}, paper says 0.506"
+        );
+    }
+
+    #[test]
+    fn all_networks_hit_their_targets() {
+        for spec in zoo::all_networks() {
+            let profile = density_profile(&spec);
+            let d = profile.mean_network_density();
+            let target = target_mean_density(spec.name());
+            assert!(
+                (d - target).abs() < 0.04,
+                "{}: density {d} vs target {target}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn average_sparsity_across_networks_is_about_62_percent() {
+        // "we observe an average 62% network-wide activation sparsity"
+        let mean: f64 = zoo::all_networks()
+            .iter()
+            .map(|s| density_profile(s).mean_network_density())
+            .sum::<f64>()
+            / 6.0;
+        let sparsity = 1.0 - mean;
+        assert!(
+            (0.55..0.70).contains(&sparsity),
+            "mean sparsity {sparsity}, paper says ~0.62"
+        );
+    }
+
+    #[test]
+    fn conv0_is_pinned_at_half() {
+        let profile = density_profile(&zoo::alexnet());
+        let t = profile.trajectory("conv0").unwrap();
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!((t.density_at(p) - 0.5).abs() < 0.02, "conv0 at {p}");
+        }
+    }
+
+    #[test]
+    fn pooling_increases_density() {
+        let profile = density_profile(&zoo::alexnet());
+        for (conv, pool) in [("conv0", "pool0"), ("conv1", "pool1"), ("conv4", "pool2")] {
+            let dc = profile.trajectory(conv).unwrap().final_density();
+            let dp = profile.trajectory(pool).unwrap().final_density();
+            assert!(dp > dc, "{pool} ({dp}) should be denser than {conv} ({dc})");
+        }
+    }
+
+    #[test]
+    fn deeper_convs_are_sparser() {
+        let profile = density_profile(&zoo::vgg());
+        let early = profile.trajectory("conv1_2").unwrap().final_density();
+        let late = profile.trajectory("conv5_3").unwrap().final_density();
+        assert!(
+            late < early,
+            "conv5_3 ({late}) should be sparser than conv1_2 ({early})"
+        );
+    }
+
+    #[test]
+    fn fc_layers_are_the_sparsest() {
+        let profile = density_profile(&zoo::alexnet());
+        let fc1 = profile.trajectory("fc1").unwrap().final_density();
+        for layer in ["conv1", "conv2", "conv3", "conv4"] {
+            let d = profile.trajectory(layer).unwrap().final_density();
+            assert!(fc1 < d, "fc1 ({fc1}) vs {layer} ({d})");
+        }
+    }
+
+    #[test]
+    fn u_curve_minimum_is_in_early_training() {
+        let profile = density_profile(&zoo::alexnet());
+        let t = profile.trajectory("conv2").unwrap();
+        let d_start = t.density_at(0.0);
+        let d_mid = t.density_at(0.35);
+        let d_end = t.density_at(1.0);
+        assert!(d_mid < d_start && d_mid < d_end, "U-curve: {d_start} {d_mid} {d_end}");
+    }
+
+    #[test]
+    fn network_density_tracks_u_curve() {
+        // The dip in network-wide density during early-mid training is what
+        // gives the best-case compression (the paper's up-to-93% sparsity).
+        let profile = density_profile(&zoo::squeezenet());
+        let start = profile.network_density_at(0.0);
+        let dip = profile.network_density_at(0.35);
+        let end = profile.network_density_at(1.0);
+        assert!(dip < start && dip < end);
+        // Somewhere in training, sparsity gets close to the paper's extreme.
+        assert!(1.0 - dip > 0.75, "dip sparsity {}", 1.0 - dip);
+    }
+
+    #[test]
+    fn dense_layers_stay_dense() {
+        let profile = density_profile(&zoo::alexnet());
+        let norm = profile.trajectory("norm0").unwrap();
+        let fc3 = profile.trajectory("fc3").unwrap();
+        assert_eq!(norm.final_density(), 1.0);
+        assert_eq!(fc3.final_density(), 1.0);
+    }
+
+    #[test]
+    fn densities_at_lists_every_layer() {
+        let spec = zoo::alexnet();
+        let profile = density_profile(&spec);
+        let ds = profile.densities_at(0.5);
+        assert_eq!(ds.len(), spec.layers().len());
+        assert!(ds.iter().all(|(_, d)| (0.0..=1.0).contains(d)));
+    }
+}

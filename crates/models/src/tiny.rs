@@ -1,0 +1,91 @@
+//! Small trainable counterparts of the paper's networks.
+//!
+//! These are scaled-down architectures in the same structural family
+//! (conv/ReLU/pool pyramids ending in FC classifiers, plus an
+//! inception-style variant), sized so CPU training in tests and examples
+//! finishes in seconds while still exhibiting the Section IV sparsity
+//! dynamics.
+
+use cdma_dnn::{
+    Conv2d, Dropout, FullyConnected, Parallel, Pool, PoolKind, Relu, Sequential,
+};
+
+/// A tiny AlexNet-style pyramid for `classes`-way classification of
+/// 1×16×16 images: two conv/ReLU/pool stages and an FC classifier with
+/// dropout.
+pub fn tiny_alexnet(classes: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::named("tiny-alexnet");
+    net.push(Conv2d::new("conv0", 1, 8, 3, 1, 1, seed));
+    net.push(Relu::new("relu0"));
+    net.push(Pool::new("pool0", PoolKind::Max, 2, 2)); // 16 -> 8
+    net.push(Conv2d::new("conv1", 8, 16, 3, 1, 1, seed + 1));
+    net.push(Relu::new("relu1"));
+    net.push(Pool::new("pool1", PoolKind::Max, 2, 2)); // 8 -> 4
+    net.push(FullyConnected::new("fc1", 16 * 4 * 4, 32, seed + 2));
+    net.push(Relu::new("relu_fc1"));
+    net.push(Dropout::new("drop1", 0.5, seed + 3));
+    net.push(FullyConnected::new("fc2", 32, classes, seed + 4));
+    net
+}
+
+/// A tiny GoogLeNet-style network: a stem conv followed by an inception
+/// module (1×1 branch + 3×3 branch) and an FC classifier.
+pub fn tiny_googlenet(classes: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::named("tiny-googlenet");
+    net.push(Conv2d::new("stem", 1, 8, 3, 1, 1, seed));
+    net.push(Relu::new("stem_relu"));
+    net.push(Pool::new("stem_pool", PoolKind::Max, 2, 2)); // 16 -> 8
+
+    let mut b1 = Sequential::named("inc_1x1");
+    b1.push(Conv2d::new("inc_1x1_conv", 8, 8, 1, 1, 0, seed + 1));
+    b1.push(Relu::new("inc_1x1_relu"));
+    let mut b2 = Sequential::named("inc_3x3");
+    b2.push(Conv2d::new("inc_3x3_reduce", 8, 4, 1, 1, 0, seed + 2));
+    b2.push(Relu::new("inc_3x3_reduce_relu"));
+    b2.push(Conv2d::new("inc_3x3_conv", 4, 8, 3, 1, 1, seed + 3));
+    b2.push(Relu::new("inc_3x3_relu"));
+    net.push(Parallel::new("inception", vec![b1, b2]));
+
+    net.push(Pool::new("pool2", PoolKind::Max, 2, 2)); // 8 -> 4
+    net.push(FullyConnected::new("fc", 16 * 4 * 4, classes, seed + 4));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdma_dnn::{Layer, Mode, Sgd, Trainer};
+    use cdma_dnn::synthetic::SyntheticImages;
+    use cdma_tensor::{Layout, Shape4, Tensor};
+
+    #[test]
+    fn tiny_alexnet_shapes() {
+        let net = tiny_alexnet(4, 0);
+        assert_eq!(
+            net.output_shape(Shape4::new(2, 1, 16, 16)),
+            Shape4::fc(2, 4)
+        );
+    }
+
+    #[test]
+    fn tiny_googlenet_shapes_and_forward() {
+        let mut net = tiny_googlenet(4, 0);
+        let x = Tensor::full(Shape4::new(2, 1, 16, 16), Layout::Nchw, 0.3);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), Shape4::fc(2, 4));
+    }
+
+    #[test]
+    fn tiny_googlenet_trains() {
+        let mut data = SyntheticImages::new(4, 1, 16, 11);
+        let mut trainer = Trainer::new(tiny_googlenet(4, 13), Sgd::new(0.03, 0.9, 1e-4));
+        let mut losses = Vec::new();
+        for _ in 0..150 {
+            let (x, y) = data.batch(16);
+            losses.push(trainer.train_step(&x, &y));
+        }
+        let early: f64 = losses[..20].iter().sum::<f64>() / 20.0;
+        let late: f64 = losses[losses.len() - 20..].iter().sum::<f64>() / 20.0;
+        assert!(late < early, "inception net should learn: {early} -> {late}");
+    }
+}

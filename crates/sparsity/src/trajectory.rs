@@ -1,0 +1,269 @@
+/// Training-progress checkpoints used throughout the figure reproductions
+/// (0%, 20%, ..., 100% — the columns of Fig. 5).
+pub const TRAINING_CHECKPOINTS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// The U-shaped per-layer activation-density curve over training time.
+///
+/// Section IV-B identifies four regimes, which this model reproduces:
+///
+/// 1. density **drops dramatically** at the start of training, correlated
+///    with the rapid fall of the loss (the network learns which features are
+///    unimportant);
+/// 2. density then **recovers**, first quickly then slowly, as weights are
+///    optimized to use previously neglected features (and learning-rate
+///    drops fine-tune the model);
+/// 3. in the final fine-tuning stage the change is minimal;
+/// 4. layers deeper in the network sit at lower absolute density (they
+///    respond to class-specific features).
+///
+/// The curve is parameterized by its endpoints `(d_init, d_min, d_final)`
+/// and the progress `t_min` at which the minimum occurs:
+///
+/// ```text
+/// density
+/// d_init ─┐
+///         │ \
+/// d_final │   \            ______——————
+///         │     \   ___———
+/// d_min   │       ¯
+///         └──────┬─────────────────── training progress
+///               t_min
+/// ```
+///
+/// ```
+/// use cdma_sparsity::DensityTrajectory;
+/// let t = DensityTrajectory::new(0.6, 0.2, 0.4, 0.3);
+/// assert!((t.density_at(0.0) - 0.6).abs() < 1e-9);
+/// assert!((t.density_at(0.3) - 0.2).abs() < 1e-9);
+/// assert!((t.density_at(1.0) - 0.4).abs() < 1e-9);
+/// assert!(t.density_at(0.15) < 0.6 && t.density_at(0.6) > 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityTrajectory {
+    d_init: f64,
+    d_min: f64,
+    d_final: f64,
+    t_min: f64,
+}
+
+impl DensityTrajectory {
+    /// Creates a trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all densities are in `[0, 1]`, `t_min` is in `(0, 1)`,
+    /// and `d_min` does not exceed either endpoint (the curve must be
+    /// U-shaped, possibly degenerate).
+    pub fn new(d_init: f64, d_min: f64, d_final: f64, t_min: f64) -> Self {
+        for (name, v) in [("d_init", d_init), ("d_min", d_min), ("d_final", d_final)] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1], got {v}");
+        }
+        assert!(
+            (0.0..1.0).contains(&t_min) && t_min > 0.0,
+            "t_min must be in (0, 1), got {t_min}"
+        );
+        assert!(
+            d_min <= d_init + 1e-12 && d_min <= d_final + 1e-12,
+            "d_min ({d_min}) must not exceed d_init ({d_init}) or d_final ({d_final})"
+        );
+        DensityTrajectory {
+            d_init,
+            d_min,
+            d_final,
+            t_min,
+        }
+    }
+
+    /// A flat trajectory (conv0 in the paper stays within ±2% of 50%
+    /// density no matter how long the network trains).
+    pub fn flat(density: f64) -> Self {
+        DensityTrajectory::new(density, density, density, 0.5)
+    }
+
+    /// Density at training progress `t` (clamped to `[0, 1]`).
+    pub fn density_at(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        if t <= self.t_min {
+            // Fast exponential approach to the minimum, mirroring the loss
+            // function's rapid initial drop.
+            let x = t / self.t_min;
+            let shape = (1.0 - (-4.0 * x).exp()) / (1.0 - (-4.0f64).exp());
+            self.d_init + (self.d_min - self.d_init) * shape
+        } else {
+            // Recovery: fast at first, then a slow crawl (Section IV-B
+            // regime 2/3). A sub-linear power captures that.
+            let x = (t - self.t_min) / (1.0 - self.t_min);
+            self.d_min + (self.d_final - self.d_min) * x.powf(0.6)
+        }
+    }
+
+    /// Time-averaged density over the whole training run, which is what the
+    /// aggregate compression-ratio results integrate over (the paper's
+    /// Fig. 11 averages across the entire training period).
+    pub fn mean_density(&self) -> f64 {
+        // 256-point midpoint rule; the curve is smooth so this is plenty.
+        let n = 256;
+        (0..n)
+            .map(|i| self.density_at((i as f64 + 0.5) / n as f64))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Density at start of training.
+    pub fn initial(&self) -> f64 {
+        self.d_init
+    }
+
+    /// Minimum density (bottom of the U).
+    pub fn minimum(&self) -> f64 {
+        self.d_min
+    }
+
+    /// Density of the fully-trained model.
+    pub fn final_density(&self) -> f64 {
+        self.d_final
+    }
+}
+
+/// Training-loss curve used for Fig. 7 (loss on the left axis of the paper's
+/// plot).
+///
+/// The paper notes that "the loss value drops very quickly at the beginning
+/// of training, and then drops more slowly as the network becomes fully
+/// trained"; a two-time-constant exponential captures that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossCurve {
+    initial: f64,
+    final_loss: f64,
+}
+
+impl LossCurve {
+    /// Creates a loss curve from its endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `final_loss > initial` (training that diverges is outside
+    /// the model).
+    pub fn new(initial: f64, final_loss: f64) -> Self {
+        assert!(
+            final_loss <= initial,
+            "loss must not increase over training ({final_loss} > {initial})"
+        );
+        LossCurve {
+            initial,
+            final_loss,
+        }
+    }
+
+    /// AlexNet-like curve: cross-entropy over 1000 classes starts near
+    /// `ln(1000) ≈ 6.9` and lands near 2.0 (Fig. 7's left axis spans 2–7).
+    pub fn alexnet() -> Self {
+        LossCurve::new(6.9, 2.0)
+    }
+
+    /// Loss at training progress `t` in `[0, 1]`.
+    pub fn loss_at(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        let range = self.initial - self.final_loss;
+        // 70% of the drop happens with a fast time constant, the rest slowly.
+        let fast = 1.0 - (-12.0 * t).exp();
+        let slow = 1.0 - (-2.0 * t).exp();
+        self.initial - range * (0.7 * fast + 0.3 * slow) / (0.7 * f(12.0) + 0.3 * f(2.0))
+    }
+}
+
+/// Normalization helper: value of `1 - exp(-k)` so the curve lands exactly
+/// on `final_loss` at `t = 1`.
+fn f(k: f64) -> f64 {
+    1.0 - (-k).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_exact() {
+        let t = DensityTrajectory::new(0.55, 0.2, 0.35, 0.4);
+        assert!((t.density_at(0.0) - 0.55).abs() < 1e-9);
+        assert!((t.density_at(0.4) - 0.2).abs() < 1e-9);
+        assert!((t.density_at(1.0) - 0.35).abs() < 1e-9);
+        assert_eq!(t.initial(), 0.55);
+        assert_eq!(t.minimum(), 0.2);
+        assert_eq!(t.final_density(), 0.35);
+    }
+
+    #[test]
+    fn curve_is_u_shaped() {
+        let t = DensityTrajectory::new(0.6, 0.15, 0.4, 0.35);
+        // Monotone decreasing before t_min.
+        let mut prev = t.density_at(0.0);
+        for i in 1..=35 {
+            let d = t.density_at(i as f64 / 100.0);
+            assert!(d <= prev + 1e-12, "not decreasing at {i}%");
+            prev = d;
+        }
+        // Monotone increasing after t_min.
+        for i in 36..=100 {
+            let d = t.density_at(i as f64 / 100.0);
+            assert!(d >= prev - 1e-12, "not increasing at {i}%");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn initial_drop_is_fast() {
+        // Most of the drop happens in the first half of phase 1 — the
+        // "drops dramatically" observation.
+        let t = DensityTrajectory::new(0.6, 0.2, 0.4, 0.4);
+        let halfway = t.density_at(0.2);
+        assert!(halfway < 0.6 - 0.8 * 0.2, "drop too slow: {halfway}");
+    }
+
+    #[test]
+    fn flat_trajectory_never_moves() {
+        let t = DensityTrajectory::flat(0.5);
+        for i in 0..=10 {
+            assert!((t.density_at(i as f64 / 10.0) - 0.5).abs() < 1e-9);
+        }
+        assert!((t.mean_density() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_density_between_min_and_max() {
+        let t = DensityTrajectory::new(0.6, 0.2, 0.4, 0.3);
+        let m = t.mean_density();
+        assert!(m > 0.2 && m < 0.6);
+        // The long recovery tail dominates the integral.
+        assert!(m > 0.25 && m < 0.45, "mean {m}");
+    }
+
+    #[test]
+    fn clamping_outside_range() {
+        let t = DensityTrajectory::new(0.6, 0.2, 0.4, 0.3);
+        assert_eq!(t.density_at(-1.0), t.density_at(0.0));
+        assert_eq!(t.density_at(2.0), t.density_at(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn non_u_shape_rejected() {
+        let _ = DensityTrajectory::new(0.3, 0.5, 0.4, 0.3);
+    }
+
+    #[test]
+    fn loss_curve_matches_paper_shape() {
+        let l = LossCurve::alexnet();
+        assert!((l.loss_at(0.0) - 6.9).abs() < 1e-9);
+        assert!((l.loss_at(1.0) - 2.0).abs() < 0.05);
+        // Quick early drop: more than half the total drop by t = 0.1.
+        assert!(l.loss_at(0.1) < 6.9 - 0.5 * 4.9);
+        // Monotone decreasing.
+        let mut prev = f64::INFINITY;
+        for i in 0..=100 {
+            let v = l.loss_at(i as f64 / 100.0);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+}

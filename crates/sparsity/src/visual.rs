@@ -1,0 +1,151 @@
+//! Black/white sparsity renderings of activation maps — the Fig. 5 panels.
+//!
+//! The paper visualizes each layer's output activations as a grid of channel
+//! planes ("the 96 channels are arranged as an (8 × 12) grid"), with zero
+//! activations drawn as black pixels and non-zeros as white. These helpers
+//! reproduce that rendering as ASCII art (for terminal inspection) and as
+//! binary PGM images (for files).
+
+use cdma_tensor::Tensor;
+
+/// Renders one image's channel planes as an ASCII grid.
+///
+/// Zeros render as `'.'` (the paper's black), non-zeros as `'#'` (white).
+/// `grid_cols` channels per row; channel planes are separated by one blank
+/// column/row.
+///
+/// # Panics
+///
+/// Panics if `n` is out of bounds or `grid_cols` is zero.
+pub fn ascii_grid(t: &Tensor, n: usize, grid_cols: usize) -> String {
+    assert!(grid_cols > 0, "grid_cols must be positive");
+    let s = t.shape();
+    assert!(n < s.n, "image index {n} out of bounds for shape {s}");
+    let grid_rows = s.c.div_ceil(grid_cols);
+    let mut out = String::new();
+    for gr in 0..grid_rows {
+        for h in 0..s.h {
+            for gc in 0..grid_cols {
+                let c = gr * grid_cols + gc;
+                if c >= s.c {
+                    break;
+                }
+                if gc > 0 {
+                    out.push(' ');
+                }
+                for w in 0..s.w {
+                    out.push(if t.get(n, c, h, w) == 0.0 { '.' } else { '#' });
+                }
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one image's channel planes as a binary (P5) PGM image, matching
+/// the paper's black = zero / white = non-zero convention.
+///
+/// Returns the full PGM file contents.
+///
+/// # Panics
+///
+/// Panics if `n` is out of bounds or `grid_cols` is zero.
+pub fn pgm_grid(t: &Tensor, n: usize, grid_cols: usize) -> Vec<u8> {
+    assert!(grid_cols > 0, "grid_cols must be positive");
+    let s = t.shape();
+    assert!(n < s.n, "image index {n} out of bounds for shape {s}");
+    let grid_rows = s.c.div_ceil(grid_cols);
+    // One pixel of grey border between planes.
+    let px_w = grid_cols * (s.w + 1) - 1;
+    let px_h = grid_rows * (s.h + 1) - 1;
+    let mut pixels = vec![128u8; px_w * px_h];
+    for c in 0..s.c {
+        let gr = c / grid_cols;
+        let gc = c % grid_cols;
+        let oy = gr * (s.h + 1);
+        let ox = gc * (s.w + 1);
+        for h in 0..s.h {
+            for w in 0..s.w {
+                let v = if t.get(n, c, h, w) == 0.0 { 0u8 } else { 255u8 };
+                pixels[(oy + h) * px_w + (ox + w)] = v;
+            }
+        }
+    }
+    let mut out = format!("P5\n{px_w} {px_h}\n255\n").into_bytes();
+    out.extend_from_slice(&pixels);
+    out
+}
+
+/// One-line density bar for terminal tables: `#` for each 2% density.
+///
+/// ```
+/// use cdma_sparsity::visual::density_bar;
+/// assert_eq!(density_bar(0.5, 50).len(), 50);
+/// assert_eq!(density_bar(0.0, 10), "..........");
+/// ```
+pub fn density_bar(density: f64, width: usize) -> String {
+    let filled = ((density.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdma_tensor::{Layout, Shape4};
+
+    fn checkerboard() -> Tensor {
+        Tensor::from_fn(Shape4::new(1, 2, 2, 2), Layout::Nchw, |_, c, h, w| {
+            ((c + h + w) % 2) as f32
+        })
+    }
+
+    #[test]
+    fn ascii_grid_marks_zeros_and_nonzeros() {
+        let t = checkerboard();
+        let art = ascii_grid(&t, 0, 2);
+        // channel 0 row 0: ".#", channel 1 row 0: "#."
+        let first_line: &str = art.lines().next().unwrap();
+        assert_eq!(first_line, ".# #.");
+        assert!(art.contains('#') && art.contains('.'));
+    }
+
+    #[test]
+    fn pgm_has_correct_header_and_size() {
+        let t = checkerboard();
+        let pgm = pgm_grid(&t, 0, 2);
+        let header = b"P5\n5 2\n255\n"; // 2*(2+1)-1 = 5 wide, 1*(2+1)-1 = 2 tall
+        assert!(pgm.starts_with(header));
+        assert_eq!(pgm.len(), header.len() + 5 * 2);
+    }
+
+    #[test]
+    fn pgm_pixels_are_black_white_or_border() {
+        let t = checkerboard();
+        let pgm = pgm_grid(&t, 0, 2);
+        let body = &pgm[b"P5\n5 2\n255\n".len()..];
+        assert!(body.iter().all(|&p| p == 0 || p == 255 || p == 128));
+        assert_eq!(body.iter().filter(|&&p| p == 255).count(), 4);
+        assert_eq!(body.iter().filter(|&&p| p == 0).count(), 4);
+    }
+
+    #[test]
+    fn density_bar_extremes() {
+        assert_eq!(density_bar(1.0, 4), "####");
+        assert_eq!(density_bar(0.0, 4), "....");
+        assert_eq!(density_bar(0.5, 4), "##..");
+        assert_eq!(density_bar(7.0, 3), "###"); // clamped
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn ascii_grid_bounds_checked() {
+        let t = checkerboard();
+        let _ = ascii_grid(&t, 1, 2);
+    }
+}

@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Shape4;
+
+/// Error returned when two tensors that must agree in shape do not.
+///
+/// ```
+/// use cdma_tensor::{Layout, Shape4, Tensor};
+/// let mut a = Tensor::zeros(Shape4::new(1, 2, 3, 3), Layout::Nchw);
+/// let b = Tensor::zeros(Shape4::new(1, 2, 3, 4), Layout::Nchw);
+/// assert!(a.checked_copy_from(&b).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeMismatchError {
+    /// The shape the operation expected.
+    pub expected: Shape4,
+    /// The shape it was given.
+    pub actual: Shape4,
+}
+
+impl fmt::Display for ShapeMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tensor shape mismatch: expected {}, got {}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl Error for ShapeMismatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ShapeMismatchError {
+            expected: Shape4::new(1, 2, 3, 4),
+            actual: Shape4::new(4, 3, 2, 1),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("(1, 2, 3, 4)"));
+        assert!(msg.contains("(4, 3, 2, 1)"));
+    }
+}

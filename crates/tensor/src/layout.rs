@@ -1,0 +1,186 @@
+use std::fmt;
+
+use crate::Shape4;
+
+/// Memory layout of a 4-D activation tensor.
+///
+/// Section II-C of the cDMA paper observes that different ML frameworks
+/// linearize the `(N, C, H, W)` activation array differently, and Section
+/// VII-A shows that the layout determines how effective run-length and
+/// dictionary compression are (zero-value compression is layout-insensitive).
+///
+/// The variant name lists dimensions from **outermost to innermost**; e.g. in
+/// [`Layout::Nchw`] consecutive memory addresses walk `W` fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layout {
+    /// `N` outermost, `W` innermost — Caffe's native layout and cuDNN's
+    /// default. Zeros produced by a channel going quiet appear as long
+    /// contiguous runs (a whole `H·W` plane), which favours RLE and zlib.
+    Nchw,
+    /// `N` outermost, `C` innermost — cuDNN's alternative layout. Channel
+    /// values for one pixel are interleaved, which breaks up zero runs.
+    Nhwc,
+    /// `C` outermost, `N` innermost — the layout of Neon and cuda-convnet.
+    /// Values for the same map position across the minibatch are adjacent.
+    Chwn,
+}
+
+impl Layout {
+    /// All three layouts, in the order the paper's figures enumerate them.
+    pub const ALL: [Layout; 3] = [Layout::Nchw, Layout::Nhwc, Layout::Chwn];
+
+    /// Strides (in elements) for each logical dimension `(n, c, h, w)` under
+    /// this layout for the given shape.
+    ///
+    /// ```
+    /// use cdma_tensor::{Layout, Shape4};
+    /// let s = Shape4::new(2, 3, 4, 5);
+    /// let (sn, sc, sh, sw) = Layout::Nchw.strides(s);
+    /// assert_eq!((sn, sc, sh, sw), (60, 20, 5, 1));
+    /// ```
+    pub fn strides(&self, shape: Shape4) -> (usize, usize, usize, usize) {
+        let Shape4 { n: _, c, h, w } = shape;
+        match self {
+            Layout::Nchw => (c * h * w, h * w, w, 1),
+            Layout::Nhwc => (h * w * c, 1, w * c, c),
+            Layout::Chwn => (1, h * w * shape.n, w * shape.n, shape.n),
+        }
+    }
+
+    /// Linear element offset of logical coordinate `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Does not bounds-check in release builds; callers are expected to pass
+    /// coordinates inside `shape` (the [`crate::Tensor`] accessors do check).
+    pub fn offset(&self, shape: Shape4, n: usize, c: usize, h: usize, w: usize) -> usize {
+        let (sn, sc, sh, sw) = self.strides(shape);
+        n * sn + c * sc + h * sh + w * sw
+    }
+
+    /// Inverse of [`Layout::offset`]: maps a linear element offset back to
+    /// logical `(n, c, h, w)` coordinates.
+    pub fn coords(&self, shape: Shape4, offset: usize) -> (usize, usize, usize, usize) {
+        let Shape4 { n, c, h, w } = shape;
+        debug_assert!(offset < shape.len());
+        match self {
+            Layout::Nchw => {
+                let wi = offset % w;
+                let hi = (offset / w) % h;
+                let ci = (offset / (w * h)) % c;
+                let ni = offset / (w * h * c);
+                (ni, ci, hi, wi)
+            }
+            Layout::Nhwc => {
+                let ci = offset % c;
+                let wi = (offset / c) % w;
+                let hi = (offset / (c * w)) % h;
+                let ni = offset / (c * w * h);
+                (ni, ci, hi, wi)
+            }
+            Layout::Chwn => {
+                let ni = offset % n;
+                let wi = (offset / n) % w;
+                let hi = (offset / (n * w)) % h;
+                let ci = offset / (n * w * h);
+                (ni, ci, hi, wi)
+            }
+        }
+    }
+
+    /// Short uppercase name as used in the paper's figures (`NCHW`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Layout::Nchw => "NCHW",
+            Layout::Nhwc => "NHWC",
+            Layout::Chwn => "CHWN",
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nchw_strides_walk_w_fastest() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(Layout::Nchw.offset(s, 0, 0, 0, 1), 1);
+        assert_eq!(Layout::Nchw.offset(s, 0, 0, 1, 0), 5);
+        assert_eq!(Layout::Nchw.offset(s, 0, 1, 0, 0), 20);
+        assert_eq!(Layout::Nchw.offset(s, 1, 0, 0, 0), 60);
+    }
+
+    #[test]
+    fn nhwc_strides_walk_c_fastest() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(Layout::Nhwc.offset(s, 0, 1, 0, 0), 1);
+        assert_eq!(Layout::Nhwc.offset(s, 0, 0, 0, 1), 3);
+        assert_eq!(Layout::Nhwc.offset(s, 0, 0, 1, 0), 15);
+        assert_eq!(Layout::Nhwc.offset(s, 1, 0, 0, 0), 60);
+    }
+
+    #[test]
+    fn chwn_strides_walk_n_fastest() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(Layout::Chwn.offset(s, 1, 0, 0, 0), 1);
+        assert_eq!(Layout::Chwn.offset(s, 0, 0, 0, 1), 2);
+        assert_eq!(Layout::Chwn.offset(s, 0, 0, 1, 0), 10);
+        assert_eq!(Layout::Chwn.offset(s, 0, 1, 0, 0), 40);
+    }
+
+    #[test]
+    fn offsets_cover_all_elements_exactly_once() {
+        let s = Shape4::new(3, 2, 4, 5);
+        for layout in Layout::ALL {
+            let mut seen = vec![false; s.len()];
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            let off = layout.offset(s, n, c, h, w);
+                            assert!(!seen[off], "{layout} maps two coords to offset {off}");
+                            seen[off] = true;
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&x| x), "{layout} left gaps");
+        }
+    }
+
+    #[test]
+    fn coords_inverts_offset() {
+        let s = Shape4::new(3, 2, 4, 5);
+        for layout in Layout::ALL {
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            let off = layout.offset(s, n, c, h, w);
+                            assert_eq!(
+                                layout.coords(s, off),
+                                (n, c, h, w),
+                                "layout {layout} offset {off}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Layout::Nchw.name(), "NCHW");
+        assert_eq!(Layout::Nhwc.name(), "NHWC");
+        assert_eq!(Layout::Chwn.name(), "CHWN");
+        assert_eq!(Layout::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,105 @@
+use crate::Tensor;
+
+/// A borrowed view of a single `(image, channel)` plane of a [`Tensor`].
+///
+/// Figure 5 of the paper visualizes activation sparsity one channel plane at
+/// a time (e.g. AlexNet conv0's 96 channels as an 8×12 grid of 55×55 maps);
+/// this view provides the per-plane access those renderings need without
+/// copying.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelPlane<'a> {
+    tensor: &'a Tensor,
+    n: usize,
+    c: usize,
+}
+
+impl<'a> ChannelPlane<'a> {
+    pub(crate) fn new(tensor: &'a Tensor, n: usize, c: usize) -> Self {
+        let s = tensor.shape();
+        assert!(
+            n < s.n && c < s.c,
+            "plane ({n}, {c}) out of bounds for shape {s}"
+        );
+        ChannelPlane { tensor, n, c }
+    }
+
+    /// Plane height.
+    pub fn height(&self) -> usize {
+        self.tensor.shape().h
+    }
+
+    /// Plane width.
+    pub fn width(&self) -> usize {
+        self.tensor.shape().w
+    }
+
+    /// Element at `(h, w)` within this plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(h, w)` is out of bounds.
+    pub fn get(&self, h: usize, w: usize) -> f32 {
+        self.tensor.get(self.n, self.c, h, w)
+    }
+
+    /// Fraction of non-zero elements in this plane.
+    pub fn density(&self) -> f64 {
+        let mut nonzero = 0usize;
+        for h in 0..self.height() {
+            for w in 0..self.width() {
+                if self.get(h, w) != 0.0 {
+                    nonzero += 1;
+                }
+            }
+        }
+        nonzero as f64 / (self.height() * self.width()) as f64
+    }
+
+    /// Iterates over the plane's values in row-major `(h, w)` order.
+    pub fn iter(&self) -> impl Iterator<Item = f32> + '_ {
+        let (h, w) = (self.height(), self.width());
+        (0..h).flat_map(move |hi| (0..w).map(move |wi| self.get(hi, wi)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layout, Shape4};
+
+    #[test]
+    fn plane_reads_the_right_channel() {
+        let t = Tensor::from_fn(Shape4::new(2, 3, 2, 2), Layout::Nhwc, |n, c, h, w| {
+            (n * 100 + c * 10 + h * 2 + w) as f32
+        });
+        let p = t.plane(1, 2);
+        assert_eq!(p.get(0, 0), 120.0);
+        assert_eq!(p.get(1, 1), 123.0);
+        assert_eq!(p.height(), 2);
+        assert_eq!(p.width(), 2);
+    }
+
+    #[test]
+    fn plane_density_is_local() {
+        let mut t = Tensor::zeros(Shape4::new(1, 2, 2, 2), Layout::Nchw);
+        t.set(0, 0, 0, 0, 5.0);
+        assert_eq!(t.plane(0, 0).density(), 0.25);
+        assert_eq!(t.plane(0, 1).density(), 0.0);
+    }
+
+    #[test]
+    fn iter_walks_row_major() {
+        let t = Tensor::from_fn(Shape4::new(1, 1, 2, 3), Layout::Chwn, |_, _, h, w| {
+            (h * 3 + w) as f32
+        });
+        let vals: Vec<f32> = t.plane(0, 0).iter().collect();
+        assert_eq!(vals, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn plane_bounds_checked() {
+        let t = Tensor::zeros(Shape4::new(1, 1, 1, 1), Layout::Nchw);
+        let _ = t.plane(0, 1);
+    }
+}

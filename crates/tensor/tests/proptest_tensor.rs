@@ -1,0 +1,68 @@
+//! Property-based tests for layout arithmetic and relayout round-trips.
+
+use cdma_tensor::{Layout, Shape4, Tensor};
+use proptest::prelude::*;
+
+fn small_shape() -> impl Strategy<Value = Shape4> {
+    (1usize..5, 1usize..6, 1usize..7, 1usize..7).prop_map(|(n, c, h, w)| Shape4::new(n, c, h, w))
+}
+
+fn layout() -> impl Strategy<Value = Layout> {
+    prop_oneof![
+        Just(Layout::Nchw),
+        Just(Layout::Nhwc),
+        Just(Layout::Chwn)
+    ]
+}
+
+proptest! {
+    /// `coords` is the inverse of `offset` for every layout and shape.
+    #[test]
+    fn offset_coords_roundtrip(shape in small_shape(), l in layout(), seed in 0usize..10_000) {
+        let off = seed % shape.len();
+        let (n, c, h, w) = l.coords(shape, off);
+        prop_assert!(n < shape.n && c < shape.c && h < shape.h && w < shape.w);
+        prop_assert_eq!(l.offset(shape, n, c, h, w), off);
+    }
+
+    /// Relayout in any direction preserves every logical element.
+    #[test]
+    fn relayout_roundtrip(shape in small_shape(), a in layout(), b in layout(), seed in any::<u64>()) {
+        // Deterministic pseudo-random contents including zeros.
+        let mut state = seed | 1;
+        let t = Tensor::from_fn(shape, a, |_, _, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state % 3 == 0 { 0.0 } else { (state % 97) as f32 - 48.0 }
+        });
+        let back = t.to_layout(b).to_layout(a);
+        prop_assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    /// Density is invariant under relayout (zeros are neither created nor
+    /// destroyed by transposition).
+    #[test]
+    fn density_layout_invariant(shape in small_shape(), a in layout(), b in layout(), seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let t = Tensor::from_fn(shape, a, |_, _, _, _| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            if state % 2 == 0 { 0.0 } else { 1.0 }
+        });
+        let u = t.to_layout(b);
+        prop_assert_eq!(t.count_nonzero(), u.count_nonzero());
+    }
+
+    /// `from_fn` + `get` agree for all coordinates.
+    #[test]
+    fn from_fn_get_agree(shape in small_shape(), l in layout()) {
+        let t = Tensor::from_fn(shape, l, |n, c, h, w| (n * 1_000 + c * 100 + h * 10 + w) as f32);
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        prop_assert_eq!(t.get(n, c, h, w), (n * 1_000 + c * 100 + h * 10 + w) as f32);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # cdma-vdnn — virtualized-DNN memory management simulation
+//!
+//! vDNN (Rhu et al., MICRO 2016) virtualizes GPU memory by offloading each
+//! layer's activation maps to CPU memory during forward propagation and
+//! prefetching them back during backward propagation (Fig. 2 of the cDMA
+//! paper). When a transfer outlasts the computation it overlaps with, the
+//! GPU stalls — the performance problem cDMA attacks.
+//!
+//! This crate reproduces the paper's hybrid evaluation methodology
+//! (Section VI) as a simulation:
+//!
+//! * [`ComputeModel`] — per-layer compute times from FLOP counts and
+//!   cuDNN-version-dependent efficiencies ([`CudnnVersion`], Fig. 3a);
+//! * [`RatioTable`] — measured compression ratios (algorithm × layout ×
+//!   density) obtained by running the real codecs from `cdma-compress` on
+//!   clustered activations from `cdma-sparsity`;
+//! * [`traffic`] — offloaded-byte accounting per network (Fig. 11/12);
+//! * [`StepSim`] — the layer-by-layer forward/backward timeline with
+//!   overlap and stalls, including the paper's `COMP_BW` throttling model
+//!   (Fig. 3b and Fig. 13).
+//!
+//! ```
+//! use cdma_models::zoo;
+//! use cdma_gpusim::SystemConfig;
+//! use cdma_vdnn::{ComputeModel, CudnnVersion, StepSim, TransferPolicy};
+//!
+//! let spec = zoo::alexnet();
+//! let sim = StepSim::new(
+//!     SystemConfig::titan_x_pcie3(),
+//!     ComputeModel::titan_x(CudnnVersion::V5),
+//! );
+//! let oracle = sim.step_time(&spec, TransferPolicy::Oracle);
+//! let vdnn = sim.step_time(&spec, TransferPolicy::uniform(&spec, 1.0));
+//! assert!(vdnn.total() >= oracle.total());
+//! ```
+
+#![deny(missing_docs)]
+
+mod compute;
+pub mod memory;
+pub mod multi_gpu;
+mod ratio;
+mod schedule;
+pub mod traffic;
+
+pub use compute::{ComputeModel, CudnnVersion};
+pub use ratio::RatioTable;
+pub use schedule::{StepBreakdown, StepSim, TransferPolicy};

@@ -1,0 +1,192 @@
+use std::collections::HashMap;
+
+use cdma_compress::{windowed, Algorithm};
+use cdma_sparsity::ActivationGen;
+use cdma_tensor::{Layout, Shape4};
+
+/// Measured compression ratios as a function of (algorithm, layout,
+/// density).
+///
+/// Fig. 11 needs the compression ratio of every layer of every network at
+/// every training checkpoint — far too much data to compress at full
+/// ImageNet scale. Real activation-map compression depends on the *density
+/// and spatial statistics*, not on the absolute map size, so the table runs
+/// the real codecs once per (algorithm, layout, density) grid point on a
+/// representative clustered activation tensor and interpolates. ZVC's
+/// entries are cross-checked against its closed form in the tests.
+#[derive(Debug, Clone)]
+pub struct RatioTable {
+    densities: Vec<f64>,
+    ratios: HashMap<(Algorithm, Layout), Vec<f64>>,
+}
+
+impl RatioTable {
+    /// Builds the full-resolution table (17 density points; used by the
+    /// benches).
+    pub fn build(seed: u64) -> Self {
+        Self::build_with_grid(seed, 17, Shape4::new(2, 24, 27, 27))
+    }
+
+    /// Builds a coarse table quickly (used by unit tests).
+    pub fn build_fast(seed: u64) -> Self {
+        Self::build_with_grid(seed, 7, Shape4::new(2, 12, 19, 19))
+    }
+
+    fn build_with_grid(seed: u64, points: usize, shape: Shape4) -> Self {
+        assert!(points >= 2, "need at least two grid points");
+        let densities: Vec<f64> = (0..points)
+            .map(|i| 0.02 + (0.98 - 0.02) * i as f64 / (points - 1) as f64)
+            .collect();
+        let mut ratios = HashMap::new();
+        for layout in Layout::ALL {
+            // One generator per layout so all algorithms see identical data.
+            for alg in Algorithm::ALL {
+                ratios.insert((alg, layout), Vec::with_capacity(points));
+            }
+            for (i, &d) in densities.iter().enumerate() {
+                let mut gen = ActivationGen::seeded(seed.wrapping_add(i as u64));
+                let t = gen.generate(shape, layout, d);
+                for alg in Algorithm::ALL {
+                    let codec = alg.codec();
+                    let stats = windowed::compress_stats(
+                        codec.as_ref(),
+                        t.as_slice(),
+                        windowed::DEFAULT_WINDOW_BYTES,
+                    );
+                    ratios
+                        .get_mut(&(alg, layout))
+                        .expect("inserted above")
+                        .push(stats.ratio());
+                }
+            }
+        }
+        RatioTable { densities, ratios }
+    }
+
+    /// Interpolated compression ratio at `density` for an algorithm/layout.
+    ///
+    /// Interpolation happens in *compressed-fraction* space (`1/ratio`),
+    /// which is linear in density for ZVC (mask + non-zeros) and close to
+    /// linear for the other codecs; interpolating the highly convex ratio
+    /// curve directly would overestimate between grid points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is outside `[0, 1]`.
+    pub fn ratio(&self, alg: Algorithm, layout: Layout, density: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&density),
+            "density must be in [0, 1], got {density}"
+        );
+        let ys = &self.ratios[&(alg, layout)];
+        let xs = &self.densities;
+        if density <= xs[0] {
+            return ys[0];
+        }
+        if density >= *xs.last().expect("non-empty grid") {
+            return *ys.last().expect("non-empty grid");
+        }
+        let hi = xs.partition_point(|&x| x < density).max(1);
+        let (x0, x1) = (xs[hi - 1], xs[hi]);
+        let (inv0, inv1) = (1.0 / ys[hi - 1], 1.0 / ys[hi]);
+        let inv = inv0 + (inv1 - inv0) * (density - x0) / (x1 - x0);
+        1.0 / inv
+    }
+
+    /// The density grid points.
+    pub fn densities(&self) -> &[f64] {
+        &self.densities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdma_compress::Zvc;
+
+    fn table() -> RatioTable {
+        RatioTable::build_fast(7)
+    }
+
+    #[test]
+    fn zvc_matches_closed_form() {
+        let t = table();
+        for &d in &[0.1, 0.3, 0.5, 0.8] {
+            let measured = t.ratio(Algorithm::Zvc, Layout::Nchw, d);
+            let analytic = Zvc::analytic_ratio(d);
+            assert!(
+                (measured - analytic).abs() / analytic < 0.12,
+                "d={d}: measured {measured}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zvc_is_layout_insensitive() {
+        let t = table();
+        for &d in &[0.2, 0.5, 0.8] {
+            let a = t.ratio(Algorithm::Zvc, Layout::Nchw, d);
+            let b = t.ratio(Algorithm::Zvc, Layout::Nhwc, d);
+            let c = t.ratio(Algorithm::Zvc, Layout::Chwn, d);
+            assert!((a - b).abs() / a < 0.03, "d={d}: {a} vs {b}");
+            assert!((a - c).abs() / a < 0.03, "d={d}: {a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn rle_prefers_nchw() {
+        // Fig. 11: "RLE performs best with NCHW ... with high sensitivity
+        // to the underlying data layouts".
+        let t = table();
+        for &d in &[0.2, 0.4, 0.6] {
+            let nchw = t.ratio(Algorithm::Rle, Layout::Nchw, d);
+            let nhwc = t.ratio(Algorithm::Rle, Layout::Nhwc, d);
+            assert!(nchw > nhwc, "d={d}: NCHW {nchw} <= NHWC {nhwc}");
+        }
+    }
+
+    #[test]
+    fn zlib_beats_or_matches_zvc_on_nchw() {
+        // zlib also compresses the non-zero payload.
+        let t = table();
+        for &d in &[0.2, 0.5] {
+            let zl = t.ratio(Algorithm::Zlib, Layout::Nchw, d);
+            let zv = t.ratio(Algorithm::Zvc, Layout::Nchw, d);
+            assert!(zl > 0.9 * zv, "d={d}: zlib {zl} vs zvc {zv}");
+        }
+    }
+
+    #[test]
+    fn ratios_decrease_with_density() {
+        let t = table();
+        for alg in Algorithm::ALL {
+            let sparse = t.ratio(alg, Layout::Nchw, 0.1);
+            let dense = t.ratio(alg, Layout::Nchw, 0.9);
+            assert!(sparse > dense, "{alg}: {sparse} vs {dense}");
+        }
+    }
+
+    #[test]
+    fn interpolation_is_bounded_by_grid_neighbours() {
+        let t = table();
+        let ys = &t.ratios[&(Algorithm::Zvc, Layout::Nchw)];
+        let xs = t.densities();
+        let mid = (xs[2] + xs[3]) / 2.0;
+        let v = t.ratio(Algorithm::Zvc, Layout::Nchw, mid);
+        let (lo, hi) = (ys[3].min(ys[2]), ys[3].max(ys[2]));
+        assert!((lo..=hi).contains(&v));
+    }
+
+    #[test]
+    fn extremes_clamp_to_grid_ends() {
+        let t = table();
+        assert_eq!(
+            t.ratio(Algorithm::Zvc, Layout::Nchw, 0.0),
+            t.ratio(Algorithm::Zvc, Layout::Nchw, 0.02)
+        );
+        assert_eq!(
+            t.ratio(Algorithm::Zvc, Layout::Nchw, 1.0),
+            t.ratio(Algorithm::Zvc, Layout::Nchw, 0.98)
+        );
+    }
+}

@@ -1,0 +1,299 @@
+use cdma_gpusim::SystemConfig;
+use cdma_models::NetworkSpec;
+
+use crate::ComputeModel;
+
+/// What travels over the CPU–GPU link during a training step.
+#[derive(Debug, Clone)]
+pub enum TransferPolicy {
+    /// No transfers (the paper's "orac" baseline: offload/prefetch latency
+    /// always hidden).
+    Oracle,
+    /// Offload every layer output; element `i` is the compression ratio of
+    /// layer `i`'s activations (1.0 everywhere = plain vDNN).
+    OffloadAll(Vec<f64>),
+    /// Offload only convolution-layer outputs (vDNN's memory-saving
+    /// alternative policy), with per-layer ratios as above.
+    OffloadConv(Vec<f64>),
+}
+
+impl TransferPolicy {
+    /// Offload-all with one uniform ratio (1.0 reproduces baseline vDNN).
+    pub fn uniform(spec: &NetworkSpec, ratio: f64) -> Self {
+        TransferPolicy::OffloadAll(vec![ratio; spec.layers().len()])
+    }
+}
+
+/// Timing breakdown of one simulated training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepBreakdown {
+    /// Forward compute + stalls, seconds.
+    pub forward: f64,
+    /// Backward compute + stalls, seconds.
+    pub backward: f64,
+    /// Seconds of forward time attributable to offload stalls.
+    pub forward_stall: f64,
+    /// Seconds of backward time attributable to prefetch stalls.
+    pub backward_stall: f64,
+}
+
+impl StepBreakdown {
+    /// Total step latency.
+    pub fn total(&self) -> f64 {
+        self.forward + self.backward
+    }
+
+    /// Fraction of the step spent stalled on PCIe.
+    pub fn stall_fraction(&self) -> f64 {
+        (self.forward_stall + self.backward_stall) / self.total()
+    }
+}
+
+/// Layer-by-layer timeline simulation of vDNN's offload/prefetch overlap
+/// (Fig. 2b of the paper).
+///
+/// During forward propagation, layer *n*'s computation overlaps with the
+/// offload of its input activations; the next layer cannot start until both
+/// finish, so each forward stage takes `max(compute, offload)`. During
+/// backward propagation the prefetch of layer *n−1*'s activations overlaps
+/// with layer *n*'s backward computation, with a serial prefetch of the
+/// deepest layer's activations at the start.
+///
+/// Transfers move at the paper's analytically-throttled effective bandwidth
+/// ([`SystemConfig::effective_offload_bw`]): `PCIe × ratio`, capped by the
+/// provisioned compression read bandwidth `COMP_BW`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepSim {
+    cfg: SystemConfig,
+    compute: ComputeModel,
+}
+
+impl StepSim {
+    /// Creates a simulator.
+    pub fn new(cfg: SystemConfig, compute: ComputeModel) -> Self {
+        StepSim { cfg, compute }
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// Simulates one training step of `spec` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a ratio vector's length does not match the layer count.
+    pub fn step_time(&self, spec: &NetworkSpec, policy: TransferPolicy) -> StepBreakdown {
+        let batch = spec.batch();
+        let layers = spec.layers();
+        let (offload_all, ratios): (bool, Option<&[f64]>) = match &policy {
+            TransferPolicy::Oracle => (true, None),
+            TransferPolicy::OffloadAll(r) => (true, Some(r)),
+            TransferPolicy::OffloadConv(r) => (false, Some(r)),
+        };
+        if let Some(r) = ratios {
+            assert_eq!(
+                r.len(),
+                layers.len(),
+                "one compression ratio per layer required"
+            );
+        }
+
+        // Transfer time of layer i's output activations (0 when the policy
+        // does not offload them or under the oracle).
+        let transfer_time = |i: usize| -> f64 {
+            let Some(r) = ratios else { return 0.0 };
+            let layer = &layers[i];
+            if !offload_all && !layer.is_conv() {
+                return 0.0;
+            }
+            let bytes = layer.activation_bytes(batch) as f64;
+            bytes / self.cfg.effective_offload_bw(r[i])
+        };
+
+        // Forward: stage i computes layer i while offloading layer i-1's
+        // output (the input of layer i). The network input itself is also
+        // offloaded during stage 0; it is dense (ratio 1).
+        let mut forward = 0.0;
+        let mut forward_stall = 0.0;
+        for (i, layer) in layers.iter().enumerate() {
+            let compute = self.compute.forward_time(layer, batch);
+            let offload = if i == 0 {
+                if ratios.is_some() {
+                    let input_bytes = (spec.input().per_image() * batch * 4) as f64;
+                    input_bytes / self.cfg.effective_offload_bw(1.0)
+                } else {
+                    0.0
+                }
+            } else {
+                transfer_time(i - 1)
+            };
+            forward += compute.max(offload);
+            forward_stall += (offload - compute).max(0.0);
+        }
+        // The last layer's output feeds the loss directly; no offload.
+
+        // Backward: the deepest offloaded input must be prefetched before
+        // its backward stage can run; afterwards each stage i overlaps its
+        // compute with the prefetch for stage i-1.
+        let mut backward = 0.0;
+        let mut backward_stall = 0.0;
+        if !layers.is_empty() {
+            let serial_head = transfer_time(layers.len().saturating_sub(2));
+            backward += serial_head;
+            backward_stall += serial_head;
+            for (i, layer) in layers.iter().enumerate().rev() {
+                let compute = self.compute.backward_time(layer, batch);
+                // While computing layer i's backward, prefetch the input of
+                // layer i-1 (= output of layer i-2).
+                let prefetch = if i >= 2 { transfer_time(i - 2) } else { 0.0 };
+                backward += compute.max(prefetch);
+                backward_stall += (prefetch - compute).max(0.0);
+            }
+        }
+
+        StepBreakdown {
+            forward,
+            backward,
+            forward_stall,
+            backward_stall,
+        }
+    }
+
+    /// Performance of `policy` normalized to the oracle baseline (the
+    /// y-axis of Fig. 13; 1.0 = no virtualization overhead).
+    pub fn normalized_performance(&self, spec: &NetworkSpec, policy: TransferPolicy) -> f64 {
+        let oracle = self.step_time(spec, TransferPolicy::Oracle).total();
+        let t = self.step_time(spec, policy).total();
+        oracle / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CudnnVersion;
+    use cdma_models::zoo;
+
+    fn sim(v: CudnnVersion) -> StepSim {
+        StepSim::new(SystemConfig::titan_x_pcie3(), ComputeModel::titan_x(v))
+    }
+
+    #[test]
+    fn oracle_equals_pure_compute() {
+        let spec = zoo::alexnet();
+        let s = sim(CudnnVersion::V5);
+        let oracle = s.step_time(&spec, TransferPolicy::Oracle);
+        let compute = ComputeModel::titan_x(CudnnVersion::V5).step_compute_time(&spec);
+        assert!((oracle.total() - compute).abs() / compute < 1e-9);
+        assert_eq!(oracle.forward_stall, 0.0);
+        assert_eq!(oracle.backward_stall, 0.0);
+    }
+
+    #[test]
+    fn vdnn_is_never_faster_than_oracle() {
+        let s = sim(CudnnVersion::V5);
+        for spec in zoo::all_networks() {
+            let perf = s.normalized_performance(&spec, TransferPolicy::uniform(&spec, 1.0));
+            assert!(perf <= 1.0 + 1e-9, "{}: {perf}", spec.name());
+        }
+    }
+
+    #[test]
+    fn vdnn_overhead_matches_paper_band_on_v5() {
+        // Section I / Fig. 3b: vDNN loses 31% on average (worst 52%)
+        // versus the oracle on cuDNN v5-class compute.
+        let s = sim(CudnnVersion::V5);
+        let perfs: Vec<f64> = zoo::all_networks()
+            .iter()
+            .map(|spec| s.normalized_performance(spec, TransferPolicy::uniform(spec, 1.0)))
+            .collect();
+        let avg_loss = 1.0 - perfs.iter().sum::<f64>() / perfs.len() as f64;
+        let worst_loss = 1.0 - perfs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            (0.18..0.45).contains(&avg_loss),
+            "avg vDNN loss {avg_loss:.3}, paper ~0.31 (perfs {perfs:?})"
+        );
+        assert!(
+            (0.35..0.65).contains(&worst_loss),
+            "worst vDNN loss {worst_loss:.3}, paper ~0.52"
+        );
+    }
+
+    #[test]
+    fn overhead_grows_with_cudnn_version() {
+        // Fig. 3(b): faster compute shrinks the overlap window, so the
+        // vDNN penalty grows from v1 to v5.
+        let spec = zoo::squeezenet();
+        let mut prev_perf = 0.0;
+        for v in CudnnVersion::ALL {
+            let perf = sim(v).normalized_performance(&spec, TransferPolicy::uniform(&spec, 1.0));
+            if prev_perf > 0.0 {
+                assert!(
+                    perf <= prev_perf + 1e-9,
+                    "{}: perf {perf} should not exceed {prev_perf}",
+                    v.label()
+                );
+            }
+            prev_perf = perf;
+        }
+    }
+
+    #[test]
+    fn compression_recovers_performance() {
+        let s = sim(CudnnVersion::V5);
+        for spec in zoo::all_networks() {
+            let vdnn = s.normalized_performance(&spec, TransferPolicy::uniform(&spec, 1.0));
+            let cdma = s.normalized_performance(&spec, TransferPolicy::uniform(&spec, 2.6));
+            assert!(
+                cdma > vdnn,
+                "{}: cDMA {cdma} should beat vDNN {vdnn}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_compression_approaches_oracle() {
+        let s = sim(CudnnVersion::V5);
+        let spec = zoo::vgg();
+        // Ratio beyond COMP_BW/PCIe: transfers still take bytes/COMP_BW, so
+        // performance approaches but does not exceed the oracle.
+        let perf = s.normalized_performance(&spec, TransferPolicy::uniform(&spec, 1000.0));
+        assert!(perf > 0.9 && perf <= 1.0 + 1e-9, "perf {perf}");
+    }
+
+    #[test]
+    fn conv_only_policy_transfers_less() {
+        let s = sim(CudnnVersion::V5);
+        let spec = zoo::vgg();
+        let all = s
+            .step_time(&spec, TransferPolicy::uniform(&spec, 1.0))
+            .total();
+        let conv = s
+            .step_time(
+                &spec,
+                TransferPolicy::OffloadConv(vec![1.0; spec.layers().len()]),
+            )
+            .total();
+        assert!(conv <= all);
+    }
+
+    #[test]
+    fn stall_fraction_is_consistent() {
+        let s = sim(CudnnVersion::V5);
+        let spec = zoo::squeezenet();
+        let b = s.step_time(&spec, TransferPolicy::uniform(&spec, 1.0));
+        assert!(b.stall_fraction() > 0.0 && b.stall_fraction() < 1.0);
+        assert!(b.forward_stall <= b.forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "one compression ratio per layer")]
+    fn wrong_ratio_length_rejected() {
+        let s = sim(CudnnVersion::V5);
+        let spec = zoo::alexnet();
+        let _ = s.step_time(&spec, TransferPolicy::OffloadAll(vec![1.0; 3]));
+    }
+}

@@ -1,0 +1,38 @@
+//! Sweeps density × layout × algorithm and prints compression ratios — a
+//! miniature interactive version of Fig. 11.
+//!
+//! ```bash
+//! cargo run --release --example compression_sweep
+//! ```
+
+use cdma::compress::{windowed, Algorithm, Zvc};
+use cdma::sparsity::ActivationGen;
+use cdma::tensor::{Layout, Shape4};
+
+fn main() {
+    let shape = Shape4::new(4, 32, 27, 27);
+    println!("activation shape {shape}, 4 KB compression windows\n");
+    println!("density  layout  RL      ZV      ZL      ZV-analytic");
+    for density in [0.10, 0.25, 0.40, 0.60, 0.80] {
+        for layout in Layout::ALL {
+            let mut gen = ActivationGen::seeded(7);
+            let t = gen.generate(shape, layout, density);
+            print!("{density:<8.2} {layout:<7}");
+            for alg in Algorithm::ALL {
+                let codec = alg.codec();
+                let stats = windowed::compress_stats(
+                    codec.as_ref(),
+                    t.as_slice(),
+                    windowed::DEFAULT_WINDOW_BYTES,
+                );
+                print!(" {:<7.2}", stats.ratio());
+            }
+            println!(" {:<7.2}", Zvc::analytic_ratio(density));
+        }
+        println!();
+    }
+    println!("observations (matching Section VII-A):");
+    println!(" * ZV columns are identical across layouts — ZVC is layout-insensitive;");
+    println!(" * RL and ZL fall off NCHW -> NHWC: they need spatially clustered zeros;");
+    println!(" * measured ZV matches the closed form 32/(1+32d).");
+}

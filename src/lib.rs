@@ -1,0 +1,30 @@
+//! # cdma — reproduction of "Compressing DMA Engine: Leveraging Activation
+//! Sparsity for Training Deep Neural Networks" (Rhu et al., HPCA 2018)
+//!
+//! This facade re-exports every subsystem of the reproduction:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `cdma-tensor` | 4-D activation tensors, NCHW/NHWC/CHWN layouts |
+//! | [`compress`] | `cdma-compress` | RLE, ZVC and DEFLATE-style codecs |
+//! | [`sparsity`] | `cdma-sparsity` | density stats, U-curve model, activation synthesis |
+//! | [`dnn`] | `cdma-dnn` | from-scratch CPU training framework |
+//! | [`models`] | `cdma-models` | the six evaluated networks + density profiles |
+//! | [`gpusim`] | `cdma-gpusim` | memory-subsystem / engine / area / energy models |
+//! | [`vdnn`] | `cdma-vdnn` | offload/prefetch scheduling and compute model |
+//! | [`core`] | `cdma-core` | the cDMA engine + experiment drivers |
+//!
+//! Start with the `quickstart` example:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+pub use cdma_compress as compress;
+pub use cdma_core as core;
+pub use cdma_dnn as dnn;
+pub use cdma_gpusim as gpusim;
+pub use cdma_models as models;
+pub use cdma_sparsity as sparsity;
+pub use cdma_tensor as tensor;
+pub use cdma_vdnn as vdnn;

@@ -1,0 +1,109 @@
+//! Full-stack integration: real training (cdma-dnn) feeding real activation
+//! maps into the real compressing DMA engine (cdma-core), with timing from
+//! the discrete-event pipeline (cdma-gpusim).
+
+use cdma::compress::Zvc;
+use cdma::core::CdmaEngine;
+use cdma::dnn::synthetic::SyntheticImages;
+use cdma::dnn::{Mode, Sgd, Trainer};
+use cdma::gpusim::SystemConfig;
+use cdma::models::tiny;
+use cdma::tensor::Tensor;
+
+fn capture_relu0(trainer: &mut Trainer, probe: &Tensor) -> Tensor {
+    let mut out = None;
+    let _ = trainer
+        .net
+        .forward_probed(probe, Mode::Eval, &mut |name, _, t| {
+            if name == "relu0" {
+                out = Some(t.clone());
+            }
+        });
+    out.expect("relu0 exists in tiny_alexnet")
+}
+
+#[test]
+fn trained_activations_compress_and_roundtrip() {
+    let mut data = SyntheticImages::new(4, 1, 16, 5);
+    let mut trainer = Trainer::new(tiny::tiny_alexnet(4, 11), Sgd::new(0.03, 0.9, 1e-4));
+    let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+    let (probe, _) = data.batch(32);
+
+    for _ in 0..120 {
+        let (x, y) = data.batch(16);
+        let _ = trainer.train_step(&x, &y);
+    }
+    let act = capture_relu0(&mut trainer, &probe);
+
+    // ReLU output must be sparse, and the measured ZVC ratio must agree
+    // with the closed form evaluated at the measured density.
+    let density = act.density();
+    assert!(density < 0.95, "post-ReLU activations should have zeros");
+    let copy = engine.offload_tensor(&act);
+    let predicted = Zvc::analytic_ratio(density);
+    let measured = copy.stats.ratio();
+    assert!(
+        (measured - predicted).abs() / predicted < 0.05,
+        "measured {measured:.3} vs analytic {predicted:.3} at density {density:.3}"
+    );
+
+    // Bit-exact roundtrip of the real training data.
+    let back = engine.memcpy_decompressed(&copy).expect("lossless");
+    assert_eq!(back, act.as_slice());
+}
+
+#[test]
+fn offload_timing_respects_the_pipeline_model() {
+    let mut data = SyntheticImages::new(4, 1, 16, 9);
+    let mut trainer = Trainer::new(tiny::tiny_alexnet(4, 13), Sgd::new(0.03, 0.9, 1e-4));
+    let cfg = SystemConfig::titan_x_pcie3();
+    let engine = CdmaEngine::zvc(cfg);
+    let (probe, _) = data.batch(64);
+    for _ in 0..60 {
+        let (x, y) = data.batch(16);
+        let _ = trainer.train_step(&x, &y);
+    }
+    let act = capture_relu0(&mut trainer, &probe);
+    let copy = engine.offload_tensor(&act);
+
+    // The link cannot move compressed bytes faster than its bandwidth, and
+    // cDMA cannot beat COMP_BW on the uncompressed side.
+    let min_link_time = copy.stats.compressed_bytes as f64 / cfg.pcie_bw;
+    let min_read_time = copy.stats.uncompressed_bytes as f64 / cfg.usable_comp_bw();
+    assert!(copy.transfer.total_time >= min_link_time.max(min_read_time) * 0.999);
+    // And the buffer never overflows.
+    assert!(copy.transfer.max_buffer_occupancy <= cfg.dma_buffer as f64 + 1.0);
+}
+
+#[test]
+fn dropout_increases_compressibility_in_training_mode() {
+    // Dropout zeroes half the fc activations during training — the paper's
+    // fc layers compress best partly for this reason.
+    let mut data = SyntheticImages::new(4, 1, 16, 3);
+    let mut trainer = Trainer::new(tiny::tiny_alexnet(4, 17), Sgd::new(0.03, 0.9, 1e-4));
+    let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+    let (probe, _) = data.batch(32);
+
+    let mut train_out = None;
+    let _ = trainer
+        .net
+        .forward_probed(&probe, Mode::Train, &mut |name, _, t| {
+            if name == "drop1" {
+                train_out = Some(t.clone());
+            }
+        });
+    let mut eval_out = None;
+    let _ = trainer
+        .net
+        .forward_probed(&probe, Mode::Eval, &mut |name, _, t| {
+            if name == "drop1" {
+                eval_out = Some(t.clone());
+            }
+        });
+    let train_ratio = engine.offload_tensor(&train_out.expect("drop1")).stats.ratio();
+    let eval_ratio = engine.offload_tensor(&eval_out.expect("drop1")).stats.ratio();
+    assert!(
+        train_ratio > eval_ratio * 1.3,
+        "dropout-active activations should compress better: {train_ratio:.2} vs {eval_ratio:.2}"
+    );
+}

@@ -1,0 +1,107 @@
+//! The measured-trace loop: train a real network, record its density
+//! trajectory (the paper's Fig. 4 procedure), fit the U-curve model to the
+//! measurements, and verify that the fitted model predicts the measured
+//! compression behaviour — i.e. the calibrated-profile methodology used for
+//! the ImageNet-scale networks is validated against ground truth at small
+//! scale.
+
+use cdma::compress::Zvc;
+use cdma::dnn::synthetic::SyntheticImages;
+use cdma::dnn::{DensityTrace, Sgd, Trainer};
+use cdma::models::tiny;
+use cdma::sparsity::fit::fit_trajectory;
+
+#[test]
+fn fitted_trajectory_predicts_measured_compression() {
+    let mut data = SyntheticImages::new(4, 1, 16, 77);
+    let mut trainer = Trainer::new(tiny::tiny_alexnet(4, 23), Sgd::new(0.03, 0.9, 1e-4));
+    let (probe, _) = data.batch(48);
+
+    // Record the relu1 density across a training run, Fig. 4 style.
+    let total_steps = 360;
+    let mut trace = DensityTrace::new();
+    let mut samples = Vec::new();
+    let mut last_activations = None;
+    for step in 0..total_steps {
+        let (x, y) = data.batch(16);
+        let _ = trainer.train_step(&x, &y);
+        if step % 24 == 0 || step == total_steps - 1 {
+            let progress = step as f64 / (total_steps - 1) as f64;
+            let measured = trainer.measure_densities(&probe);
+            let relu1 = measured
+                .iter()
+                .find(|s| s.layer == "relu1")
+                .expect("relu1 exists");
+            samples.push((progress, relu1.density));
+            trace.record(progress, measured);
+        }
+        if step == total_steps - 1 {
+            // Keep the real final activations for the compression check.
+            let mut act = None;
+            let _ = trainer.net.forward_probed(
+                &probe,
+                cdma::dnn::Mode::Eval,
+                &mut |name, _, out| {
+                    if name == "relu1" {
+                        act = Some(out.clone());
+                    }
+                },
+            );
+            last_activations = act;
+        }
+    }
+
+    // The recorded trace is well-formed.
+    assert!(trace.len() >= 10);
+    let history = trace.layer_history("relu1");
+    assert_eq!(history.len(), samples.len());
+
+    // Fit the paper's U-curve model to the measurements.
+    let fit = fit_trajectory(&samples);
+    assert!(
+        fit.rmse < 0.08,
+        "U-curve should describe real training: rmse {}",
+        fit.rmse
+    );
+
+    // The fitted model's end-of-training density predicts the measured ZVC
+    // ratio of the *actual* final activations.
+    let act = last_activations.expect("captured final activations");
+    let predicted_ratio = Zvc::analytic_ratio(fit.trajectory.density_at(1.0));
+    let measured_ratio =
+        (act.len() * 4) as f64 / Zvc::compressed_size(act.as_slice()) as f64;
+    assert!(
+        (predicted_ratio - measured_ratio).abs() / measured_ratio < 0.25,
+        "fit predicts {predicted_ratio:.2}x, measured {measured_ratio:.2}x"
+    );
+}
+
+#[test]
+fn network_density_trace_matches_layer_aggregation() {
+    let mut data = SyntheticImages::new(4, 1, 16, 31);
+    let mut trainer = Trainer::new(tiny::tiny_alexnet(4, 29), Sgd::new(0.03, 0.9, 1e-4));
+    let (probe, _) = data.batch(32);
+    let mut trace = DensityTrace::new();
+    for step in 0..60 {
+        let (x, y) = data.batch(16);
+        let _ = trainer.train_step(&x, &y);
+        if step % 20 == 0 {
+            trace.record(step as f64 / 60.0, trainer.measure_densities(&probe));
+        }
+    }
+    // Element-weighted aggregate must sit between the min and max layer
+    // densities at every checkpoint.
+    for ((_, net_d), (_, layer_samples)) in
+        trace.network_density().iter().zip(trace.checkpoints())
+    {
+        let min = layer_samples
+            .iter()
+            .map(|s| s.density)
+            .fold(f64::INFINITY, f64::min);
+        let max = layer_samples
+            .iter()
+            .map(|s| s.density)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(*net_d >= min - 1e-12 && *net_d <= max + 1e-12);
+    }
+}
