@@ -1,12 +1,12 @@
-//! Criterion benches of the three compression algorithms on activation-like
+//! Micro-benches of the three compression algorithms on activation-like
 //! data — the software counterpart of the paper's throughput argument
 //! (Section V-A: ZVC must sustain 100s of GB/s; DEFLATE hardware tops out
 //! around 2.5 GB/s, which is why zlib is impractical for the engine).
+//!
+//! Run with `cargo bench -p cdma-bench --bench compression`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
-use cdma_compress::Algorithm;
+use cdma_bench::micro::{group, Harness};
+use cdma_compress::{Algorithm, Compressor};
 use cdma_sparsity::ActivationGen;
 use cdma_tensor::{Layout, Shape4};
 
@@ -16,61 +16,56 @@ fn activation_data(density: f64) -> Vec<f32> {
         .into_vec()
 }
 
-fn bench_compress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compress");
+fn bench_compress(h: &mut Harness) {
+    group("compress (streaming compress_into, reused buffer)");
     for density in [0.1, 0.35, 0.7] {
         let data = activation_data(density);
-        group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+        let bytes = (data.len() * 4) as u64;
         for alg in Algorithm::ALL {
             let codec = alg.codec();
-            group.bench_with_input(
-                BenchmarkId::new(alg.label(), format!("d{:02.0}", density * 100.0)),
-                &data,
-                |b, data| b.iter(|| black_box(codec.compress(black_box(data)))),
+            let mut out = Vec::new();
+            h.bench(
+                &format!("compress/{}/d{:02.0}", alg.label(), density * 100.0),
+                bytes,
+                || codec.compress_into(&data, &mut out),
             );
         }
     }
-    group.finish();
 }
 
-fn bench_decompress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decompress");
+fn bench_decompress(h: &mut Harness) {
+    group("decompress (streaming decompress_into, reused buffer)");
     let data = activation_data(0.35);
-    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    let bytes = (data.len() * 4) as u64;
     for alg in Algorithm::ALL {
         let codec = alg.codec();
         let compressed = codec.compress(&data);
-        group.bench_with_input(BenchmarkId::new(alg.label(), "d35"), &compressed, |b, z| {
-            b.iter(|| black_box(codec.decompress(black_box(z), data.len()).unwrap()))
+        let mut out = Vec::new();
+        h.bench(&format!("decompress/{}/d35", alg.label()), bytes, || {
+            codec
+                .decompress_into(&compressed, data.len(), &mut out)
+                .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_window_sweep(c: &mut Criterion) {
+fn bench_window_sweep(h: &mut Harness) {
     // Ratio (not speed) is the interesting axis here, but the bench keeps
     // the windowed path itself honest about its overhead.
-    let mut group = c.benchmark_group("zvc_windowed");
+    group("zvc windowed stats");
     let data = activation_data(0.35);
-    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    let bytes = (data.len() * 4) as u64;
     for kb in [4usize, 64] {
         let codec = Algorithm::Zvc.codec();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &data, |b, d| {
-            b.iter(|| {
-                black_box(cdma_compress::windowed::compress_stats(
-                    codec.as_ref(),
-                    black_box(d),
-                    kb * 1024,
-                ))
-            })
+        h.bench(&format!("zvc_windowed/{kb}KB"), bytes, || {
+            cdma_compress::windowed::compress_stats(&codec, &data, kb * 1024)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_compress, bench_decompress, bench_window_sweep
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_compress(&mut h);
+    bench_decompress(&mut h);
+    bench_window_sweep(&mut h);
+}

@@ -1,46 +1,45 @@
-//! Criterion benches of the hardware models: the discrete-event offload
+//! Micro-benches of the hardware models: the discrete-event offload
 //! pipeline and the end-to-end `memcpy_compressed` path.
+//!
+//! Run with `cargo bench -p cdma-bench --bench engine`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use cdma_bench::micro::{group, Harness};
 use cdma_core::CdmaEngine;
 use cdma_gpusim::{OffloadSim, SystemConfig};
 use cdma_sparsity::ActivationGen;
 use cdma_tensor::{Layout, Shape4};
 
-fn bench_offload_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("offload_sim");
+fn bench_offload_sim(h: &mut Harness) {
+    group("offload_sim (discrete-event pipeline)");
     let cfg = SystemConfig::titan_x_pcie3();
     for ratio in [1.0, 2.6, 13.8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("r{ratio}")),
-            &ratio,
-            |b, &r| {
-                b.iter(|| black_box(OffloadSim::new(cfg).run_uniform(black_box(16 << 20), r)))
-            },
-        );
+        h.bench(&format!("offload_sim/r{ratio}"), 0, || {
+            OffloadSim::new(cfg).run_uniform(16 << 20, ratio)
+        });
     }
-    group.finish();
 }
 
-fn bench_memcpy_compressed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memcpy_compressed");
+fn bench_memcpy_compressed(h: &mut Harness) {
+    group("memcpy_compressed (end to end)");
     let mut gen = ActivationGen::seeded(3);
     let data = gen
         .generate(Shape4::new(4, 32, 27, 27), Layout::Nchw, 0.35)
         .into_vec();
-    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    let bytes = (data.len() * 4) as u64;
     let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
-    group.bench_function("zvc", |b| {
-        b.iter(|| black_box(engine.memcpy_compressed(black_box(&data))))
+    h.bench("memcpy_compressed/zvc", bytes, || {
+        engine.memcpy_compressed(&data)
     });
-    group.finish();
+    // The recycling form reuses the previous copy's stream buffers.
+    let mut stream = engine.memcpy_compressed(&data).into_stream();
+    h.bench("memcpy_compressed/zvc_reusing", bytes, || {
+        let copy = engine.memcpy_compressed_reusing(&data, std::mem::take(&mut stream));
+        stream = copy.into_stream();
+    });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_offload_sim, bench_memcpy_compressed
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_offload_sim(&mut h);
+    bench_memcpy_compressed(&mut h);
+}

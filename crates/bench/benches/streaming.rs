@@ -1,0 +1,134 @@
+//! The benchmark behind the zero-copy streaming API redesign: it compares
+//! the pre-redesign codec usage (a boxed codec per offload, a fresh `Vec`
+//! per 4 KB window, a `Vec<Vec<u8>>` stream) against the streaming path
+//! (static `Codec` dispatch, `compress_into` with a reused buffer, one
+//! contiguous `WindowedStream`), plus the opt-in parallel window path, in
+//! GB/s of uncompressed input consumed.
+//!
+//! Run with `cargo bench -p cdma-bench --bench streaming`. The streaming
+//! path must be at least as fast as the legacy path; on multi-megabyte
+//! sparse inputs it is measurably faster because the allocator drops out of
+//! the per-window loop.
+
+use cdma_bench::micro::{group, Harness};
+use cdma_compress::{windowed::WindowedStream, Algorithm, Compressor};
+use cdma_sparsity::ActivationGen;
+use cdma_tensor::{Layout, Shape4};
+
+/// ~4.5 MB of 35%-dense activations: the multi-megabyte regime the redesign
+/// targets (a conv layer of a large batch).
+fn large_sparse_input() -> Vec<f32> {
+    let mut gen = ActivationGen::seeded(42);
+    gen.generate(Shape4::new(8, 64, 48, 48), Layout::Nchw, 0.35)
+        .into_vec()
+}
+
+const WINDOW: usize = 4096;
+
+/// The seed-state hot path: box the codec per offload, allocate a fresh
+/// `Vec<u8>` per window, collect a `Vec<Vec<u8>>`.
+fn legacy_offload(alg: Algorithm, data: &[f32]) -> usize {
+    let codec = alg.boxed();
+    let windows: Vec<Vec<u8>> = data
+        .chunks(WINDOW / 4)
+        .map(|chunk| codec.compress(chunk))
+        .collect();
+    windows.iter().map(Vec::len).sum()
+}
+
+fn bench_dispatch(h: &mut Harness) {
+    group("dispatch: boxed-per-call vs static Codec (one 4 KB window)");
+    let data = large_sparse_input();
+    let window: Vec<f32> = data[..WINDOW / 4].to_vec();
+    let bytes = WINDOW as u64;
+    for alg in Algorithm::ALL {
+        h.bench(&format!("boxed_alloc/{}", alg.label()), bytes, || {
+            alg.boxed().compress(&window)
+        });
+        let codec = alg.codec();
+        let mut out = Vec::new();
+        h.bench(&format!("static_into/{}", alg.label()), bytes, || {
+            codec.compress_into(&window, &mut out)
+        });
+    }
+}
+
+fn bench_streams(h: &mut Harness) {
+    let data = large_sparse_input();
+    let bytes = (data.len() * 4) as u64;
+    let threads = std::thread::available_parallelism().map_or(4, usize::from);
+    group(&format!(
+        "whole-offload stream, {:.1} MB input ({threads} threads for parallel)",
+        bytes as f64 / (1 << 20) as f64
+    ));
+    for alg in [Algorithm::Rle, Algorithm::Zvc] {
+        h.bench(
+            &format!("legacy_vec_per_window/{}", alg.label()),
+            bytes,
+            || legacy_offload(alg, &data),
+        );
+        let codec = alg.codec();
+        h.bench(&format!("contiguous_stream/{}", alg.label()), bytes, || {
+            WindowedStream::compress(&codec, &data, WINDOW)
+        });
+        let mut recycled = WindowedStream::compress(&codec, &data, WINDOW);
+        h.bench(
+            &format!("recompress_recycled/{}", alg.label()),
+            bytes,
+            || recycled.recompress(&codec, &data, WINDOW),
+        );
+        h.bench(
+            &format!("parallel_x{threads}/{}", alg.label()),
+            bytes,
+            || WindowedStream::compress_parallel(&codec, &data, WINDOW, threads),
+        );
+    }
+}
+
+fn bench_decompress_stream(h: &mut Harness) {
+    group("whole-offload decompress");
+    let data = large_sparse_input();
+    let bytes = (data.len() * 4) as u64;
+    for alg in [Algorithm::Rle, Algorithm::Zvc] {
+        let codec = alg.codec();
+        let stream = WindowedStream::compress(&codec, &data, WINDOW);
+        h.bench(&format!("decompress_alloc/{}", alg.label()), bytes, || {
+            stream.decompress(&codec).unwrap()
+        });
+        let mut out = Vec::new();
+        h.bench(&format!("decompress_into/{}", alg.label()), bytes, || {
+            stream.decompress_into(&codec, &mut out).unwrap()
+        });
+    }
+}
+
+fn main() {
+    let mut h = Harness::new();
+    bench_dispatch(&mut h);
+    bench_streams(&mut h);
+    bench_decompress_stream(&mut h);
+
+    // The redesign's acceptance bar: streaming ≥ legacy on large sparse
+    // input. Checked here so `cargo bench` itself flags a regression.
+    println!();
+    for alg in [Algorithm::Rle, Algorithm::Zvc] {
+        let legacy = h
+            .get(&format!("legacy_vec_per_window/{}", alg.label()))
+            .and_then(|m| m.gb_per_s())
+            .unwrap_or(0.0);
+        let streaming = h
+            .get(&format!("contiguous_stream/{}", alg.label()))
+            .and_then(|m| m.gb_per_s())
+            .unwrap_or(f64::INFINITY);
+        let verdict = if streaming >= legacy {
+            "OK"
+        } else {
+            "REGRESSION"
+        };
+        println!(
+            "{}: streaming {streaming:.2} GB/s vs legacy {legacy:.2} GB/s ({:+.1}%)  [{verdict}]",
+            alg.label(),
+            (streaming / legacy - 1.0) * 100.0,
+        );
+    }
+}

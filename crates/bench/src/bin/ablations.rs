@@ -33,7 +33,7 @@ fn ablation_window() {
         let mut row = vec![format!("{kb} KB")];
         for alg in Algorithm::ALL {
             let codec = alg.codec();
-            let stats = windowed::compress_stats(codec.as_ref(), t.as_slice(), kb * 1024);
+            let stats = windowed::compress_stats(&codec, t.as_slice(), kb * 1024);
             row.push(f2(stats.ratio()));
         }
         rows.push(row);
@@ -107,8 +107,14 @@ fn ablation_link() {
     for (name, cfg) in [
         ("PCIe gen3", SystemConfig::titan_x_pcie3()),
         ("NVLink x1", SystemConfig::titan_x_nvlink()),
-        ("NVLink / 4 GPUs", SystemConfig::titan_x_nvlink().shared_link(4)),
-        ("NVLink / 8 GPUs", SystemConfig::titan_x_nvlink().shared_link(8)),
+        (
+            "NVLink / 4 GPUs",
+            SystemConfig::titan_x_nvlink().shared_link(4),
+        ),
+        (
+            "NVLink / 8 GPUs",
+            SystemConfig::titan_x_nvlink().shared_link(8),
+        ),
     ] {
         let h = experiment::headline(cfg, &table);
         let sim = StepSim::new(cfg, ComputeModel::titan_x(CudnnVersion::V5));
@@ -124,7 +130,12 @@ fn ablation_link() {
     println!(
         "{}",
         render_table(
-            &["link", "bw", "vDNN perf (SqueezeNet)", "cDMA avg improvement"],
+            &[
+                "link",
+                "bw",
+                "vDNN perf (SqueezeNet)",
+                "cDMA avg improvement"
+            ],
             &rows
         )
     );
@@ -149,8 +160,7 @@ fn ablation_policy() {
             &spec,
             TransferPolicy::OffloadConv(vec![1.0; spec.layers().len()]),
         );
-        let all_zv =
-            sim.normalized_performance(&spec, TransferPolicy::OffloadAll(ratios.clone()));
+        let all_zv = sim.normalized_performance(&spec, TransferPolicy::OffloadAll(ratios.clone()));
         let conv_zv = sim.normalized_performance(&spec, TransferPolicy::OffloadConv(ratios));
         rows.push(vec![
             spec.name().to_owned(),
@@ -163,7 +173,13 @@ fn ablation_policy() {
     println!(
         "{}",
         render_table(
-            &["network", "all/vDNN", "conv/vDNN", "all/cDMA-ZV", "conv/cDMA-ZV"],
+            &[
+                "network",
+                "all/vDNN",
+                "conv/vDNN",
+                "all/cDMA-ZV",
+                "conv/cDMA-ZV"
+            ],
             &rows
         )
     );

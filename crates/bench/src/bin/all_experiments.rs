@@ -5,8 +5,22 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "fig02_timeline", "fig03", "fig04", "fig05", "fig06", "fig07", "fig11",
-        "fig12", "fig13", "overheads", "energy", "memory_usage", "footprint", "rnn_traffic", "training_run",
+        "table1",
+        "fig02_timeline",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig11",
+        "fig12",
+        "fig13",
+        "overheads",
+        "energy",
+        "memory_usage",
+        "footprint",
+        "rnn_traffic",
+        "training_run",
         "ablations",
     ];
     let exe = std::env::current_exe().expect("current exe path");

@@ -36,7 +36,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["network", "ZV ratio", "vDNN energy/step", "cDMA energy/step", "saving"],
+            &[
+                "network",
+                "ZV ratio",
+                "vDNN energy/step",
+                "cDMA energy/step",
+                "saving"
+            ],
             &rows
         )
     );

@@ -24,7 +24,10 @@ fn main() {
 
     let batch = spec.batch();
     let ms_per_col = 2.0e-3; // one column = 2 ms
-    println!("{:<18} {:>7}  vDNN timeline (1 col = 2 ms)", "layer", "compute");
+    println!(
+        "{:<18} {:>7}  vDNN timeline (1 col = 2 ms)",
+        "layer", "compute"
+    );
     for (i, layer) in spec.layers().iter().enumerate().take(14) {
         let compute = model.forward_time(layer, batch);
         // Offload of this layer's input (previous layer's output).
@@ -34,7 +37,8 @@ fn main() {
             spec.layers()[i - 1].activation_bytes(batch) as f64
         };
         let vdnn_offload = bytes / cfg.effective_offload_bw(1.0);
-        let cdma_offload = bytes / cfg.effective_offload_bw(if i == 0 { 1.0 } else { ratios[i - 1] });
+        let cdma_offload =
+            bytes / cfg.effective_offload_bw(if i == 0 { 1.0 } else { ratios[i - 1] });
 
         let cols = |t: f64| (t / ms_per_col).round() as usize;
         let c = cols(compute);
@@ -47,12 +51,7 @@ fn main() {
         }
         let mut cline = String::new();
         cline.push_str(&"~".repeat(oc.max(1)));
-        println!(
-            "{:<18} {:>5.1}ms  {}",
-            layer.name,
-            compute * 1e3,
-            line
-        );
+        println!("{:<18} {:>5.1}ms  {}", layer.name, compute * 1e3, line);
         println!("{:<18} {:>7}  {}", "", "cDMA:", cline);
     }
     println!("\n'#' compute, '!' stall where the uncompressed offload outlasts compute,");

@@ -48,18 +48,11 @@ fn main() {
             let mut gen = ActivationGen::seeded(0xF1605 + (t * 100.0) as u64);
             let tensor = gen.generate(shape, Layout::Nchw, density);
             let pgm = pgm_grid(&tensor, 0, grid_cols);
-            let path = out_dir.join(format!(
-                "{}_trained{:03.0}.pgm",
-                layer_name,
-                t * 100.0
-            ));
+            let path = out_dir.join(format!("{}_trained{:03.0}.pgm", layer_name, t * 100.0));
             fs::write(&path, pgm).expect("write pgm");
         }
     }
-    println!(
-        "wrote {} PGM images to target/fig05/",
-        6 * display.len()
-    );
+    println!("wrote {} PGM images to target/fig05/", 6 * display.len());
 
     // Terminal preview: conv4 (13x13 planes are small enough for ASCII) at
     // 0%, 40% and 100% training — the dip-and-recover pattern is visible

@@ -33,6 +33,10 @@ fn main() {
         let mut line = vec![b' '; 52];
         line[loss_col.min(51)] = b'*';
         line[dens_col.min(51)] = if dens_col == loss_col { b'@' } else { b'#' };
-        println!("{:>4.0}% |{}", t * 100.0, String::from_utf8(line).expect("ascii"));
+        println!(
+            "{:>4.0}% |{}",
+            t * 100.0,
+            String::from_utf8(line).expect("ascii")
+        );
     }
 }

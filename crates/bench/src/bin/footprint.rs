@@ -39,7 +39,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["network", "density@50%", "capacity saving", "table overhead", "line-0 read cost"],
+            &[
+                "network",
+                "density@50%",
+                "capacity saving",
+                "table overhead",
+                "line-0 read cost"
+            ],
             &rows
         )
     );

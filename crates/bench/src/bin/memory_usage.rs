@@ -30,5 +30,7 @@ fn main() {
             &rows
         )
     );
-    println!("note: workspace buffers (cuDNN scratch) are not modelled; real footprints are larger.");
+    println!(
+        "note: workspace buffers (cuDNN scratch) are not modelled; real footprints are larger."
+    );
 }

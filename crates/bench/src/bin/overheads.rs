@@ -46,7 +46,10 @@ fn main() {
         render_table(&["component", "sizing", "measured", "paper"], &rows)
     );
 
-    banner("Buffer sizing: bandwidth-delay product", "200 GB/s x 350 ns = 70 KB");
+    banner(
+        "Buffer sizing: bandwidth-delay product",
+        "200 GB/s x 350 ns = 70 KB",
+    );
     println!(
         "usable COMP_BW {:.0} GB/s x memory latency {:.0} ns = {:.1} KB (buffer: {:.0} KB)",
         cfg.usable_comp_bw() / 1e9,

@@ -37,9 +37,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["recurrence", "BPTT acts/step", "mean density", "ZVC ratio", "on-wire"],
+            &[
+                "recurrence",
+                "BPTT acts/step",
+                "mean density",
+                "ZVC ratio",
+                "on-wire"
+            ],
             &rows
         )
     );
-    println!("ReLU recurrences compress ~3x; saturating gates gain nothing (ZVC mask pure overhead).");
+    println!(
+        "ReLU recurrences compress ~3x; saturating gates gain nothing (ZVC mask pure overhead)."
+    );
 }

@@ -23,17 +23,21 @@ fn main() {
                 row.batch.to_string(),
                 format!("{}K", row.trained_kiter),
                 spec.layers().len().to_string(),
-                format!(
-                    "{:.1} GB",
-                    spec.total_activation_bytes() as f64 / 1e9
-                ),
+                format!("{:.1} GB", spec.total_activation_bytes() as f64 / 1e9),
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["network", "top-1/top-5 (%)", "batch", "iters", "layers", "acts/step"],
+            &[
+                "network",
+                "top-1/top-5 (%)",
+                "batch",
+                "iters",
+                "layers",
+                "acts/step"
+            ],
             &rows
         )
     );

@@ -12,6 +12,8 @@
 
 use std::fmt::Write as _;
 
+pub mod micro;
+
 /// Renders an aligned text table.
 ///
 /// ```
@@ -83,10 +85,7 @@ mod tests {
     fn table_aligns_columns() {
         let s = render_table(
             &["a", "bbbb"],
-            &[
-                vec!["xx".into(), "1".into()],
-                vec!["y".into(), "22".into()],
-            ],
+            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,154 @@
+//! A minimal micro-benchmark harness.
+//!
+//! The criterion crate is unavailable offline, so the workspace's `benches/`
+//! targets (`harness = false`) use this instead: warm up, pick an iteration
+//! count that fills a fixed measurement budget, take several samples, and
+//! report the median time per iteration — plus GB/s when the caller states
+//! how many bytes one iteration touches. Results print as aligned rows so a
+//! bench binary reads like one of the paper-figure tables.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget for one measurement sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(120);
+/// Samples taken per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+
+/// One measured result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub label: String,
+    /// Median time per iteration.
+    pub per_iter: Duration,
+    /// Bytes processed per iteration (0 = no throughput column).
+    pub bytes_per_iter: u64,
+}
+
+impl Measurement {
+    /// Throughput in GB/s, if a byte count was declared.
+    pub fn gb_per_s(&self) -> Option<f64> {
+        if self.bytes_per_iter == 0 {
+            return None;
+        }
+        let secs = self.per_iter.as_secs_f64();
+        (secs > 0.0).then(|| self.bytes_per_iter as f64 / secs / 1e9)
+    }
+}
+
+/// Collects measurements and prints them as an aligned table.
+#[derive(Debug, Default)]
+pub struct Harness {
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        Harness::default()
+    }
+
+    /// Benchmarks `f`, attributing `bytes` of work to each iteration (pass 0
+    /// to skip the GB/s column). The closure's return value is passed
+    /// through [`black_box`] so the optimizer cannot elide the work.
+    pub fn bench<T>(&mut self, label: &str, bytes: u64, mut f: impl FnMut() -> T) {
+        // Warm-up and calibration: how many iterations fill the budget?
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_BUDGET / 4 || iters >= 1 << 24 {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let budget = SAMPLE_BUDGET.as_secs_f64();
+                iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters *= 4;
+        }
+        let mut samples: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        samples.sort();
+        let m = Measurement {
+            label: label.to_owned(),
+            per_iter: samples[SAMPLES / 2],
+            bytes_per_iter: bytes,
+        };
+        println!("{}", render_row(&m));
+        self.results.push(m);
+    }
+
+    /// All measurements so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Looks up a measurement by exact label.
+    pub fn get(&self, label: &str) -> Option<&Measurement> {
+        self.results.iter().find(|m| m.label == label)
+    }
+}
+
+/// Formats one measurement as an aligned row.
+fn render_row(m: &Measurement) -> String {
+    let time = if m.per_iter < Duration::from_micros(10) {
+        format!("{:>10.1} ns", m.per_iter.as_nanos() as f64)
+    } else if m.per_iter < Duration::from_millis(10) {
+        format!("{:>10.2} us", m.per_iter.as_micros() as f64)
+    } else {
+        format!("{:>10.2} ms", m.per_iter.as_secs_f64() * 1e3)
+    };
+    match m.gb_per_s() {
+        Some(gbps) => format!("{:<44} {time}   {gbps:>8.2} GB/s", m.label),
+        None => format!("{:<44} {time}", m.label),
+    }
+}
+
+/// Prints a section header for a group of benchmarks.
+pub fn group(title: &str) {
+    println!("\n--- {title} ---");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_reports_throughput() {
+        let m = Measurement {
+            label: "x".into(),
+            per_iter: Duration::from_micros(1),
+            bytes_per_iter: 4096,
+        };
+        let gbps = m.gb_per_s().unwrap();
+        assert!((gbps - 4.096).abs() < 1e-9, "{gbps}");
+        let none = Measurement {
+            bytes_per_iter: 0,
+            ..m
+        };
+        assert!(none.gb_per_s().is_none());
+    }
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut h = Harness::new();
+        let mut count = 0u64;
+        h.bench("counter", 0, || {
+            count += 1;
+            count
+        });
+        assert_eq!(h.results().len(), 1);
+        assert!(h.get("counter").is_some());
+        assert!(count > 0);
+    }
+}

@@ -8,24 +8,109 @@ use crate::{DecodeError, Rle, Zlib, Zvc};
 /// Implementations operate on 32-bit activation words (`f32`) because that is
 /// the data type of the offloaded activation maps; losslessness is bit-exact
 /// (`-0.0`, denormals and NaN payloads survive).
+///
+/// # Streaming vs convenience API
+///
+/// Three tiers, fastest first:
+///
+/// 1. [`compress_append`](Compressor::compress_append) /
+///    [`decompress_append`](Compressor::decompress_append) — the required
+///    primitives; append to a caller-owned buffer without clearing it, so
+///    the windowed packer lays thousands of 4 KB windows back to back with
+///    zero copies.
+/// 2. [`compress_into`](Compressor::compress_into) /
+///    [`decompress_into`](Compressor::decompress_into) — clear-and-reuse a
+///    buffer; the right call in any hot loop (per window, per layer, per
+///    training step): one allocation total instead of one per call.
+/// 3. [`compress`](Compressor::compress) /
+///    [`decompress`](Compressor::decompress) — one-shot conveniences that
+///    allocate a fresh buffer per call.
 pub trait Compressor {
     /// Two-letter name used in the paper's figures: `RL`, `ZV` or `ZL`.
     fn name(&self) -> &'static str;
 
-    /// Compresses `data` into a self-contained byte stream.
-    fn compress(&self, data: &[f32]) -> Vec<u8>;
+    /// Compresses `data` and appends the self-contained byte stream to
+    /// `out` **without clearing it** — the innermost primitive, which lets
+    /// the windowed packer lay many windows back to back in one contiguous
+    /// buffer with no intermediate copy.
+    ///
+    /// Most callers want [`compress_into`](Compressor::compress_into)
+    /// (clears first, so a dirty buffer is safe to reuse).
+    fn compress_append(&self, data: &[f32], out: &mut Vec<u8>);
 
-    /// Decompresses a stream produced by [`Compressor::compress`].
+    /// Decompresses a stream produced by
+    /// [`compress_append`](Compressor::compress_append), appending the
+    /// recovered words to `out` **without clearing it**.
     ///
     /// `element_count` is the number of `f32` words originally compressed;
     /// like a real DMA descriptor, the transfer length is metadata carried
-    /// outside the compressed payload.
+    /// outside the compressed payload. Most callers want
+    /// [`decompress_into`](Compressor::decompress_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the stream is truncated, corrupt, or
+    /// disagrees with `element_count`; `out` may hold a partial decode on
+    /// error.
+    fn decompress_append(
+        &self,
+        bytes: &[u8],
+        element_count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DecodeError>;
+
+    /// Compresses `data` into `out` after clearing it.
+    ///
+    /// `out`'s previous contents are irrelevant — a dirty buffer is safe to
+    /// reuse — but its capacity is kept, so repeated calls on same-sized
+    /// inputs perform no allocation after the first.
+    fn compress_into(&self, data: &[f32], out: &mut Vec<u8>) {
+        out.clear();
+        self.compress_append(data, out);
+    }
+
+    /// Decompresses a stream into `out` after clearing it, reusing `out`'s
+    /// capacity like [`compress_into`](Compressor::compress_into); on error
+    /// `out`'s contents are unspecified.
     ///
     /// # Errors
     ///
     /// Returns a [`DecodeError`] if the stream is truncated, corrupt, or
     /// disagrees with `element_count`.
-    fn decompress(&self, bytes: &[u8], element_count: usize) -> Result<Vec<f32>, DecodeError>;
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        element_count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
+        out.clear();
+        self.decompress_append(bytes, element_count, out)
+    }
+
+    /// Compresses `data` into a freshly-allocated byte stream.
+    ///
+    /// Convenience wrapper over
+    /// [`compress_into`](Compressor::compress_into).
+    fn compress(&self, data: &[f32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.compress_into(data, &mut out);
+        out
+    }
+
+    /// Decompresses a stream into a freshly-allocated vector.
+    ///
+    /// Convenience wrapper over
+    /// [`decompress_into`](Compressor::decompress_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the stream is truncated, corrupt, or
+    /// disagrees with `element_count`.
+    fn decompress(&self, bytes: &[u8], element_count: usize) -> Result<Vec<f32>, DecodeError> {
+        let mut out = Vec::new();
+        self.decompress_into(bytes, element_count, &mut out)?;
+        Ok(out)
+    }
 
     /// Compressed size in bytes without keeping the stream. The default
     /// materializes the compressed buffer; codecs with an analytic size
@@ -44,15 +129,86 @@ pub trait Compressor {
     }
 }
 
+/// Statically-dispatched codec: the three algorithms behind one concrete
+/// type, so selecting an algorithm at runtime does not force a heap
+/// allocation or vtable indirection per call site.
+///
+/// `Codec` implements [`Compressor`] by delegation; use
+/// [`Algorithm::codec`] to obtain one. The boxed form
+/// ([`Algorithm::boxed`]) remains available for code that genuinely needs a
+/// trait object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Run-length encoding.
+    Rle(Rle),
+    /// Zero-value compression.
+    Zvc(Zvc),
+    /// DEFLATE-style coder.
+    Zlib(Zlib),
+}
+
+impl Codec {
+    /// The algorithm this codec implements.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            Codec::Rle(_) => Algorithm::Rle,
+            Codec::Zvc(_) => Algorithm::Zvc,
+            Codec::Zlib(_) => Algorithm::Zlib,
+        }
+    }
+}
+
+impl Compressor for Codec {
+    fn name(&self) -> &'static str {
+        match self {
+            Codec::Rle(c) => c.name(),
+            Codec::Zvc(c) => c.name(),
+            Codec::Zlib(c) => c.name(),
+        }
+    }
+
+    fn compress_append(&self, data: &[f32], out: &mut Vec<u8>) {
+        match self {
+            Codec::Rle(c) => c.compress_append(data, out),
+            Codec::Zvc(c) => c.compress_append(data, out),
+            Codec::Zlib(c) => c.compress_append(data, out),
+        }
+    }
+
+    fn decompress_append(
+        &self,
+        bytes: &[u8],
+        element_count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
+        match self {
+            Codec::Rle(c) => c.decompress_append(bytes, element_count, out),
+            Codec::Zvc(c) => c.decompress_append(bytes, element_count, out),
+            Codec::Zlib(c) => c.decompress_append(bytes, element_count, out),
+        }
+    }
+
+    fn compressed_size(&self, data: &[f32]) -> usize {
+        match self {
+            Codec::Rle(c) => c.compressed_size(data),
+            Codec::Zvc(c) => c.compressed_size(data),
+            Codec::Zlib(c) => c.compressed_size(data),
+        }
+    }
+}
+
 /// Algorithm selector covering the paper's three candidates.
 ///
 /// ```
 /// use cdma_compress::{Algorithm, Compressor};
 /// let data = vec![0.0f32; 64];
+/// let mut bytes = Vec::new();
+/// let mut back = Vec::new();
 /// for alg in Algorithm::ALL {
-///     let codec = alg.codec();
-///     let bytes = codec.compress(&data);
-///     assert_eq!(codec.decompress(&bytes, 64).unwrap(), data);
+///     let codec = alg.codec(); // static dispatch, no allocation
+///     codec.compress_into(&data, &mut bytes);
+///     codec.decompress_into(&bytes, 64, &mut back).unwrap();
+///     assert_eq!(back, data);
 /// }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,8 +225,19 @@ impl Algorithm {
     /// The three algorithms in the order the paper's figures show them.
     pub const ALL: [Algorithm; 3] = [Algorithm::Rle, Algorithm::Zvc, Algorithm::Zlib];
 
-    /// Instantiates the codec for this algorithm.
-    pub fn codec(&self) -> Box<dyn Compressor> {
+    /// Instantiates the statically-dispatched codec for this algorithm.
+    pub fn codec(&self) -> Codec {
+        match self {
+            Algorithm::Rle => Codec::Rle(Rle::new()),
+            Algorithm::Zvc => Codec::Zvc(Zvc::new()),
+            Algorithm::Zlib => Codec::Zlib(Zlib::new()),
+        }
+    }
+
+    /// Instantiates a boxed trait-object codec — a compatibility shim for
+    /// call sites that store heterogeneous compressors behind one pointer.
+    /// Hot paths should prefer [`Algorithm::codec`].
+    pub fn boxed(&self) -> Box<dyn Compressor + Send + Sync> {
         match self {
             Algorithm::Rle => Box::new(Rle::new()),
             Algorithm::Zvc => Box::new(Zvc::new()),
@@ -102,7 +269,9 @@ mod tests {
     fn labels_match_codec_names() {
         for alg in Algorithm::ALL {
             assert_eq!(alg.label(), alg.codec().name());
+            assert_eq!(alg.label(), alg.boxed().name());
             assert_eq!(alg.to_string(), alg.label());
+            assert_eq!(alg.codec().algorithm(), alg);
         }
     }
 
@@ -131,11 +300,37 @@ mod tests {
     }
 
     #[test]
+    fn static_and_boxed_dispatch_agree() {
+        let data: Vec<f32> = (0..300)
+            .map(|i| if i % 4 == 0 { i as f32 } else { 0.0 })
+            .collect();
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.codec().compress(&data), alg.boxed().compress(&data));
+        }
+    }
+
+    #[test]
     fn default_compressed_size_matches_compress() {
         let data = vec![1.0f32; 100];
         for alg in Algorithm::ALL {
             let codec = alg.codec();
             assert_eq!(codec.compressed_size(&data), codec.compress(&data).len());
+        }
+    }
+
+    #[test]
+    fn into_variants_clear_dirty_buffers() {
+        let data = vec![0.0f32, 1.0, 0.0, 2.0];
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let mut bytes = vec![0xAB; 37]; // dirty
+            codec.compress_into(&data, &mut bytes);
+            assert_eq!(bytes, codec.compress(&data), "{alg}");
+            let mut back = vec![9.0f32; 5]; // dirty
+            codec
+                .decompress_into(&bytes, data.len(), &mut back)
+                .unwrap();
+            assert_eq!(back, data, "{alg}");
         }
     }
 }

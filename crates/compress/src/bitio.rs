@@ -12,8 +12,16 @@ pub(crate) struct BitWriter {
 }
 
 impl BitWriter {
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
         BitWriter::default()
+    }
+
+    /// Creates a writer that appends to the end of `bytes` (which must end
+    /// on a byte boundary, as all finished streams do), so a caller-owned
+    /// buffer is extended in place.
+    pub(crate) fn with_buffer(bytes: Vec<u8>) -> Self {
+        BitWriter { bytes, used: 0 }
     }
 
     /// Writes the low `count` bits of `value`, most significant first.

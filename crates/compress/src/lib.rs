@@ -18,8 +18,28 @@
 //! words (the paper's data type), and are **lossless**: decode(encode(x))
 //! == x bit-for-bit, which the test suite and property tests enforce.
 //!
+//! # The streaming API: `compress_into` / `decompress_into`
+//!
+//! The hardware engine sustains ~100 GB/s by never allocating: windows flow
+//! through fixed staging buffers. The software mirror of that is the pair of
+//! primitive trait methods [`Compressor::compress_into`] and
+//! [`Compressor::decompress_into`], which write into a caller-owned `Vec`
+//! (cleared, capacity kept). Use them whenever compression runs in a loop —
+//! per-window, per-layer, per-training-step — so the allocator drops out of
+//! the hot path. The allocating [`Compressor::compress`] /
+//! [`Compressor::decompress`] remain as one-shot conveniences implemented on
+//! top of the streaming primitives.
+//!
+//! Algorithm selection is statically dispatched through the [`Codec`] enum
+//! ([`Algorithm::codec`]); [`Algorithm::boxed`] still hands out a
+//! `Box<dyn Compressor>` for code that genuinely needs a trait object.
+//!
 //! The engine compresses data in fixed-size *windows* (4 KB in the paper's
-//! evaluation, Section VII-A); [`windowed`] reproduces that accounting.
+//! evaluation, Section VII-A); [`windowed::WindowedStream`] reproduces that
+//! accounting with all windows packed into one contiguous buffer, an O(1)
+//! borrowed per-window size table, and an opt-in multi-threaded compression
+//! path ([`windowed::WindowedStream::compress_parallel`]) for multi-megabyte
+//! activation maps.
 //!
 //! ```
 //! use cdma_compress::{Compressor, Zvc};
@@ -29,10 +49,16 @@
 //!     .map(|i| if i % 5 < 3 { 0.0 } else { 1.0 + i as f32 })
 //!     .collect();
 //! let zvc = Zvc::new();
-//! let bytes = zvc.compress(&data);
-//! assert!(bytes.len() < data.len() * 4 / 2);
-//! let back = zvc.decompress(&bytes, data.len()).unwrap();
-//! assert_eq!(back, data);
+//!
+//! // Streaming form: `bytes` and `back` are reused across iterations.
+//! let mut bytes = Vec::new();
+//! let mut back = Vec::new();
+//! for _step in 0..3 {
+//!     zvc.compress_into(&data, &mut bytes);
+//!     assert!(bytes.len() < data.len() * 4 / 2);
+//!     zvc.decompress_into(&bytes, data.len(), &mut back).unwrap();
+//!     assert_eq!(back, data);
+//! }
 //! ```
 
 #![deny(missing_docs)]
@@ -46,7 +72,7 @@ pub mod windowed;
 mod zlib;
 mod zvc;
 
-pub use algorithm::{Algorithm, Compressor};
+pub use algorithm::{Algorithm, Codec, Compressor};
 pub use error::DecodeError;
 pub use rle::Rle;
 pub use stats::CompressionStats;

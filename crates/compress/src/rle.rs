@@ -46,8 +46,10 @@ impl Compressor for Rle {
         "RL"
     }
 
-    fn compress(&self, data: &[f32]) -> Vec<u8> {
-        let mut out = Vec::new();
+    fn compress_append(&self, data: &[f32], out: &mut Vec<u8>) {
+        // O(1) worst-case bound: all-literal data costs 4 bytes per word
+        // plus one header per 128 words; every other pattern is smaller.
+        out.reserve(data.len() * 4 + data.len().div_ceil(MAX_RUN));
         let mut i = 0usize;
         while i < data.len() {
             if data[i].to_bits() == 0 {
@@ -78,23 +80,28 @@ impl Compressor for Rle {
                 i += run;
             }
         }
-        out
     }
 
-    fn decompress(&self, bytes: &[u8], element_count: usize) -> Result<Vec<f32>, DecodeError> {
-        let mut out = Vec::with_capacity(element_count);
+    fn decompress_append(
+        &self,
+        bytes: &[u8],
+        element_count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
+        out.reserve(element_count);
+        let base = out.len();
         let mut pos = 0usize;
-        while out.len() < element_count {
+        while out.len() - base < element_count {
             if pos >= bytes.len() {
                 return Err(DecodeError::Truncated {
                     expected: element_count,
-                    decoded: out.len(),
+                    decoded: out.len() - base,
                 });
             }
             let header = bytes[pos];
             pos += 1;
             let len = (header & 0x7f) as usize + 1;
-            if out.len() + len > element_count {
+            if out.len() - base + len > element_count {
                 return Err(DecodeError::Corrupt("run extends past element count"));
             }
             if header & ZERO_RUN_FLAG != 0 {
@@ -103,7 +110,7 @@ impl Compressor for Rle {
                 if pos + len * 4 > bytes.len() {
                     return Err(DecodeError::Truncated {
                         expected: element_count,
-                        decoded: out.len(),
+                        decoded: out.len() - base,
                     });
                 }
                 for _ in 0..len {
@@ -123,7 +130,7 @@ impl Compressor for Rle {
                 expected: element_count,
             });
         }
-        Ok(out)
+        Ok(())
     }
 }
 

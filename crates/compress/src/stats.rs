@@ -58,7 +58,8 @@ impl CompressionStats {
 
     /// Bytes saved by compression.
     pub fn saved_bytes(&self) -> u64 {
-        self.uncompressed_bytes.saturating_sub(self.compressed_bytes)
+        self.uncompressed_bytes
+            .saturating_sub(self.compressed_bytes)
     }
 }
 

@@ -7,28 +7,48 @@
 //! window is compressed independently: RLE runs and LZ77 matches cannot span
 //! a window boundary. ZVC (32-element granularity) is unaffected as long as
 //! the window is a multiple of 128 bytes.
+//!
+//! # Storage layout
+//!
+//! A [`WindowedStream`] stores all window payloads back-to-back in **one
+//! contiguous byte buffer** plus a window-offset table — the software analogue
+//! of the DMA staging buffer, and one allocation per offload instead of one
+//! per 4 KB window. Per-window views ([`WindowedStream::window`],
+//! [`WindowedStream::window_sizes`]) borrow from that buffer; nothing is
+//! cloned on query.
 
-use crate::{Compressor, CompressionStats, DecodeError};
+use crate::{CompressionStats, Compressor, DecodeError};
 
 /// The paper's default window: 4 KB = 1024 activation words.
 pub const DEFAULT_WINDOW_BYTES: usize = 4 * 1024;
 
+/// Inputs below this size are not worth spreading across threads: thread
+/// spawn/join overhead (~10 µs) rivals the compression time itself.
+const PARALLEL_MIN_BYTES: usize = 1 << 20;
+
+fn assert_window(window_bytes: usize) {
+    assert!(
+        window_bytes >= 4 && window_bytes.is_multiple_of(4),
+        "window must be a positive multiple of 4 bytes, got {window_bytes}"
+    );
+}
+
 /// Compresses `data` in independent windows of `window_bytes` and returns
 /// the aggregate byte accounting.
+///
+/// Uses [`Compressor::compressed_size`], so codecs with an analytic size
+/// (ZVC) never materialize a stream.
 ///
 /// # Panics
 ///
 /// Panics if `window_bytes` is not a positive multiple of 4 (whole `f32`
 /// words).
-pub fn compress_stats(
-    codec: &dyn Compressor,
+pub fn compress_stats<C: Compressor + ?Sized>(
+    codec: &C,
     data: &[f32],
     window_bytes: usize,
 ) -> CompressionStats {
-    assert!(
-        window_bytes >= 4 && window_bytes % 4 == 0,
-        "window must be a positive multiple of 4 bytes, got {window_bytes}"
-    );
+    assert_window(window_bytes);
     let window_elems = window_bytes / 4;
     let mut compressed = 0u64;
     for chunk in data.chunks(window_elems) {
@@ -39,14 +59,34 @@ pub fn compress_stats(
 
 /// A windowed compressed stream that can be decompressed again (the
 /// offload/prefetch round-trip of the DMA engine).
+///
+/// All window payloads live in one contiguous buffer; `offsets[i]` is the
+/// byte position where window `i` starts (with a final sentinel entry at the
+/// total length), so window slicing and size queries are O(1) borrows.
 #[derive(Debug, Clone)]
 pub struct WindowedStream {
-    /// Per-window compressed payloads, in order.
-    windows: Vec<Vec<u8>>,
+    /// All compressed payloads, back to back.
+    bytes: Vec<u8>,
+    /// `offsets[i]..offsets[i + 1]` is window `i`; length `window_count + 1`.
+    offsets: Vec<usize>,
     /// Elements per full window.
     window_elems: usize,
     /// Total elements across all windows.
     element_count: usize,
+}
+
+impl Default for WindowedStream {
+    /// An empty stream (zero windows, zero elements) — typically a seed for
+    /// [`WindowedStream::recompress`]. The offset table keeps its
+    /// `window_count + 1` sentinel invariant even when empty.
+    fn default() -> Self {
+        WindowedStream {
+            bytes: Vec::new(),
+            offsets: vec![0],
+            window_elems: 0,
+            element_count: 0,
+        }
+    }
 }
 
 impl WindowedStream {
@@ -55,36 +95,189 @@ impl WindowedStream {
     /// # Panics
     ///
     /// Panics if `window_bytes` is not a positive multiple of 4.
-    pub fn compress(codec: &dyn Compressor, data: &[f32], window_bytes: usize) -> Self {
-        assert!(
-            window_bytes >= 4 && window_bytes % 4 == 0,
-            "window must be a positive multiple of 4 bytes, got {window_bytes}"
-        );
+    pub fn compress<C: Compressor + ?Sized>(codec: &C, data: &[f32], window_bytes: usize) -> Self {
+        let mut stream = WindowedStream::default();
+        stream.recompress(codec, data, window_bytes);
+        stream
+    }
+
+    /// Compresses `data` into this stream, reusing its byte buffer and
+    /// offset table — zero allocation when recycled across equally-sized
+    /// offloads (e.g. successive training steps of one layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_bytes` is not a positive multiple of 4.
+    pub fn recompress<C: Compressor + ?Sized>(
+        &mut self,
+        codec: &C,
+        data: &[f32],
+        window_bytes: usize,
+    ) {
+        assert_window(window_bytes);
         let window_elems = window_bytes / 4;
-        let windows = data
-            .chunks(window_elems)
-            .map(|chunk| codec.compress(chunk))
-            .collect();
-        WindowedStream {
-            windows,
-            window_elems,
-            element_count: data.len(),
+        self.window_elems = window_elems;
+        self.element_count = data.len();
+        self.bytes.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        // One up-front worst-case reservation (9/8 zlib expansion plus a
+        // per-window header constant) so the contiguous buffer never
+        // reallocates mid-stream — the software analogue of the engine's
+        // worst-case-sized staging buffer. Untouched reserve is cheap
+        // (lazily-committed pages), and a recycled stream skips it.
+        let window_count = data.len().div_ceil(window_elems.max(1));
+        self.bytes
+            .reserve(data.len() * 4 + data.len() / 2 + window_count * 160);
+        for chunk in data.chunks(window_elems) {
+            // Appending straight into the contiguous buffer: no per-window
+            // allocation and no intermediate copy.
+            codec.compress_append(chunk, &mut self.bytes);
+            self.offsets.push(self.bytes.len());
         }
+    }
+
+    /// Compresses `data` with the windows spread over `threads` scoped
+    /// worker threads — the opt-in path for multi-megabyte activation maps.
+    ///
+    /// Falls back to the sequential path when `threads <= 1`, when the input
+    /// is too small to amortize thread startup (< 1 MB), or when it spans a
+    /// single window. The output is bit-identical to
+    /// [`WindowedStream::compress`]: windows are compressed independently
+    /// either way, so only wall-clock time changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_bytes` is not a positive multiple of 4.
+    pub fn compress_parallel<C: Compressor + Sync + ?Sized>(
+        codec: &C,
+        data: &[f32],
+        window_bytes: usize,
+        threads: usize,
+    ) -> Self {
+        let mut stream = WindowedStream::default();
+        stream.recompress_parallel(codec, data, window_bytes, threads);
+        stream
+    }
+
+    /// Parallel counterpart of [`WindowedStream::recompress`]: compresses
+    /// with up to `threads` workers while reusing this stream's byte buffer
+    /// and offset table for the stitched result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_bytes` is not a positive multiple of 4.
+    pub fn recompress_parallel<C: Compressor + Sync + ?Sized>(
+        &mut self,
+        codec: &C,
+        data: &[f32],
+        window_bytes: usize,
+        threads: usize,
+    ) {
+        assert_window(window_bytes);
+        let window_elems = window_bytes / 4;
+        let window_count = data.len().div_ceil(window_elems);
+        if threads <= 1 || data.len() * 4 < PARALLEL_MIN_BYTES || window_count <= 1 {
+            self.recompress(codec, data, window_bytes);
+            return;
+        }
+
+        // Deal each worker a contiguous run of windows; workers compress
+        // into private (buffer, sizes) shards that are then stitched into
+        // the contiguous stream. Windows are independent, so the result is
+        // identical to the sequential path.
+        let workers = threads.min(window_count);
+        let windows_per_worker = window_count.div_ceil(workers);
+        let elems_per_worker = windows_per_worker * window_elems;
+        let mut shards: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(elems_per_worker)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut bytes = Vec::new();
+                        let mut sizes = Vec::with_capacity(windows_per_worker);
+                        for chunk in shard.chunks(window_elems) {
+                            let start = bytes.len();
+                            codec.compress_append(chunk, &mut bytes);
+                            sizes.push(bytes.len() - start);
+                        }
+                        (bytes, sizes)
+                    })
+                })
+                .collect();
+            shards = handles
+                .into_iter()
+                .map(|h| h.join().expect("compression worker panicked"))
+                .collect();
+        });
+
+        let total: usize = shards.iter().map(|(b, _)| b.len()).sum();
+        self.bytes.clear();
+        self.bytes.reserve(total);
+        self.offsets.clear();
+        self.offsets.reserve(window_count + 1);
+        self.offsets.push(0);
+        for (shard_bytes, sizes) in shards {
+            self.bytes.extend_from_slice(&shard_bytes);
+            for s in sizes {
+                let last = *self.offsets.last().expect("offsets starts non-empty");
+                self.offsets.push(last + s);
+            }
+        }
+        self.window_elems = window_elems;
+        self.element_count = data.len();
     }
 
     /// Total compressed payload bytes (what crosses PCIe).
     pub fn compressed_bytes(&self) -> usize {
-        self.windows.iter().map(Vec::len).sum()
+        self.bytes.len()
+    }
+
+    /// The whole compressed stream as one contiguous byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
     }
 
     /// Number of windows.
     pub fn window_count(&self) -> usize {
-        self.windows.len()
+        self.offsets.len() - 1
+    }
+
+    /// The compressed payload of window `index`, borrowed from the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn window(&self, index: usize) -> &[u8] {
+        &self.bytes[self.offsets[index]..self.offsets[index + 1]]
+    }
+
+    /// Iterates over the compressed windows, borrowed from the stream.
+    pub fn windows(&self) -> impl ExactSizeIterator<Item = &[u8]> + '_ {
+        self.offsets.windows(2).map(|w| &self.bytes[w[0]..w[1]])
     }
 
     /// Per-window compressed sizes, for burst-level bandwidth modelling.
-    pub fn window_sizes(&self) -> Vec<usize> {
-        self.windows.iter().map(Vec::len).collect()
+    /// A borrowed iterator — nothing is allocated or cloned per query.
+    pub fn window_sizes(&self) -> impl ExactSizeIterator<Item = usize> + '_ {
+        self.offsets.windows(2).map(|w| w[1] - w[0])
+    }
+
+    /// Number of `f32` words in window `index` before compression (the final
+    /// window may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn window_elements(&self, index: usize) -> usize {
+        assert!(index < self.window_count(), "window {index} out of range");
+        (self.element_count - index * self.window_elems).min(self.window_elems)
+    }
+
+    /// Total elements across all windows.
+    pub fn element_count(&self) -> usize {
+        self.element_count
     }
 
     /// Aggregate accounting for this stream.
@@ -95,20 +288,35 @@ impl WindowedStream {
         )
     }
 
-    /// Decompresses the full stream.
+    /// Decompresses the full stream into a freshly-allocated vector.
     ///
     /// # Errors
     ///
     /// Propagates any window's [`DecodeError`].
-    pub fn decompress(&self, codec: &dyn Compressor) -> Result<Vec<f32>, DecodeError> {
-        let mut out = Vec::with_capacity(self.element_count);
-        let mut remaining = self.element_count;
-        for w in &self.windows {
-            let n = remaining.min(self.window_elems);
-            out.extend(codec.decompress(w, n)?);
-            remaining -= n;
-        }
+    pub fn decompress<C: Compressor + ?Sized>(&self, codec: &C) -> Result<Vec<f32>, DecodeError> {
+        let mut out = Vec::new();
+        self.decompress_into(codec, &mut out)?;
         Ok(out)
+    }
+
+    /// Decompresses the full stream into a caller-owned buffer (cleared
+    /// first), so prefetches across layers reuse one allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any window's [`DecodeError`]; `out` is left in an
+    /// unspecified state on error.
+    pub fn decompress_into<C: Compressor + ?Sized>(
+        &self,
+        codec: &C,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
+        out.clear();
+        out.reserve(self.element_count);
+        for (i, window) in self.windows().enumerate() {
+            codec.decompress_append(window, self.window_elements(i), out)?;
+        }
+        Ok(())
     }
 }
 
@@ -134,11 +342,86 @@ mod tests {
         let data = sparse_data(5000); // not a multiple of the window
         for alg in Algorithm::ALL {
             let codec = alg.codec();
-            let stream = WindowedStream::compress(codec.as_ref(), &data, DEFAULT_WINDOW_BYTES);
+            let stream = WindowedStream::compress(&codec, &data, DEFAULT_WINDOW_BYTES);
             assert_eq!(stream.window_count(), 5); // ceil(5000/1024)
-            let back = stream.decompress(codec.as_ref()).unwrap();
+            let back = stream.decompress(&codec).unwrap();
             assert_eq!(back, data, "{alg}");
         }
+    }
+
+    #[test]
+    fn stream_is_contiguous_and_offsets_cover_it() {
+        let data = sparse_data(3000);
+        let zvc = Zvc::new();
+        let stream = WindowedStream::compress(&zvc, &data, 4096);
+        assert_eq!(
+            stream.window_sizes().sum::<usize>(),
+            stream.compressed_bytes()
+        );
+        assert_eq!(
+            stream.windows().map(<[u8]>::len).sum::<usize>(),
+            stream.as_bytes().len()
+        );
+        // Each window slice is the matching segment of the full stream.
+        let mut pos = 0;
+        for w in stream.windows() {
+            assert_eq!(w, &stream.as_bytes()[pos..pos + w.len()]);
+            pos += w.len();
+        }
+    }
+
+    #[test]
+    fn windows_match_independent_compression() {
+        let data = sparse_data(4096 + 100);
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let stream = WindowedStream::compress(&codec, &data, 4096);
+            for (i, w) in stream.windows().enumerate() {
+                let start = i * 1024;
+                let end = (start + 1024).min(data.len());
+                assert_eq!(w, codec.compress(&data[start..end]), "{alg} window {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn recompress_reuses_buffers() {
+        let zvc = Zvc::new();
+        let mut stream = WindowedStream::compress(&zvc, &sparse_data(8192), 4096);
+        let cap_bytes = stream.bytes.capacity();
+        let cap_offsets = stream.offsets.capacity();
+        stream.recompress(&zvc, &sparse_data(8192), 4096);
+        assert_eq!(stream.bytes.capacity(), cap_bytes);
+        assert_eq!(stream.offsets.capacity(), cap_offsets);
+        assert_eq!(stream.decompress(&zvc).unwrap(), sparse_data(8192));
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        // Above the 1 MB threshold so the parallel path actually engages.
+        let data = sparse_data(300_000);
+        for alg in Algorithm::ALL {
+            let codec = alg.codec();
+            let seq = WindowedStream::compress(&codec, &data, 4096);
+            for threads in [2, 3, 8] {
+                let par = WindowedStream::compress_parallel(&codec, &data, 4096, threads);
+                assert_eq!(par.as_bytes(), seq.as_bytes(), "{alg} x{threads}");
+                assert_eq!(
+                    par.offsets, seq.offsets,
+                    "{alg} x{threads} offset tables differ"
+                );
+                assert_eq!(par.decompress(&codec).unwrap(), data);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back_to_sequential() {
+        let data = sparse_data(2000); // < 1 MB
+        let zvc = Zvc::new();
+        let par = WindowedStream::compress_parallel(&zvc, &data, 4096, 8);
+        let seq = WindowedStream::compress(&zvc, &data, 4096);
+        assert_eq!(par.as_bytes(), seq.as_bytes());
     }
 
     #[test]
@@ -170,20 +453,54 @@ mod tests {
         // monotonically non-decreasing (modulo header amortization).
         let data = sparse_data(64 * 1024);
         let zl = Algorithm::Zlib.codec();
-        let s1k = compress_stats(zl.as_ref(), &data, 1024).compressed_bytes;
-        let s64k = compress_stats(zl.as_ref(), &data, 64 * 1024).compressed_bytes;
+        let s1k = compress_stats(&zl, &data, 1024).compressed_bytes;
+        let s64k = compress_stats(&zl, &data, 64 * 1024).compressed_bytes;
         assert!(s64k < s1k, "64K window {s64k} should beat 1K window {s1k}");
     }
 
     #[test]
-    fn window_sizes_cover_stream() {
-        let data = sparse_data(3000);
+    fn decompress_into_reuses_dirty_buffer() {
+        let data = sparse_data(5000);
         let zvc = Zvc::new();
         let stream = WindowedStream::compress(&zvc, &data, 4096);
-        assert_eq!(
-            stream.window_sizes().iter().sum::<usize>(),
-            stream.compressed_bytes()
-        );
+        let mut out = vec![123.0f32; 17]; // dirty, wrong size
+        stream.decompress_into(&zvc, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn default_stream_is_well_formed() {
+        let stream = WindowedStream::default();
+        assert_eq!(stream.window_count(), 0);
+        assert_eq!(stream.compressed_bytes(), 0);
+        assert_eq!(stream.element_count(), 0);
+        assert_eq!(stream.window_sizes().count(), 0);
+        assert_eq!(stream.decompress(&Zvc::new()).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn recompress_parallel_reuses_buffers_and_matches() {
+        let data = sparse_data(300_000); // above the parallel floor
+        let zvc = Zvc::new();
+        let seq = WindowedStream::compress(&zvc, &data, 4096);
+        let mut stream = WindowedStream::compress_parallel(&zvc, &data, 4096, 4);
+        assert_eq!(stream.as_bytes(), seq.as_bytes());
+        let cap_bytes = stream.bytes.capacity();
+        let cap_offsets = stream.offsets.capacity();
+        stream.recompress_parallel(&zvc, &data, 4096, 4);
+        assert_eq!(stream.bytes.capacity(), cap_bytes, "byte buffer recycled");
+        assert_eq!(stream.offsets.capacity(), cap_offsets, "offsets recycled");
+        assert_eq!(stream.as_bytes(), seq.as_bytes());
+    }
+
+    #[test]
+    fn empty_stream_is_well_formed() {
+        let zvc = Zvc::new();
+        let stream = WindowedStream::compress(&zvc, &[], 4096);
+        assert_eq!(stream.window_count(), 0);
+        assert_eq!(stream.compressed_bytes(), 0);
+        assert_eq!(stream.window_sizes().count(), 0);
+        assert_eq!(stream.decompress(&zvc).unwrap(), Vec::<f32>::new());
     }
 
     #[test]

@@ -45,25 +45,69 @@ const NUM_DIST: usize = 30;
 
 /// DEFLATE length-code table: `(base_length, extra_bits)` for codes 257..286.
 const LEN_TABLE: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
     (258, 0),
 ];
 
 /// DEFLATE distance-code table: `(base_distance, extra_bits)` for codes 0..30.
 const DIST_TABLE: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1), (9, 2), (13, 2),
-    (17, 3), (25, 3), (33, 4), (49, 4),
-    (65, 5), (97, 5), (129, 6), (193, 6),
-    (257, 7), (385, 7), (513, 8), (769, 8),
-    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 fn length_to_code(len: usize) -> (usize, u16, u8) {
@@ -176,6 +220,7 @@ impl Zlib {
                 // Insert hash entries for every position the match covers so
                 // later data can refer back inside it.
                 let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+                #[allow(clippy::needless_range_loop)] // j indexes data, prev and head together
                 for j in i..end {
                     let h = hash(data, j);
                     prev[j] = head[h];
@@ -201,7 +246,12 @@ impl Compressor for Zlib {
         "ZL"
     }
 
-    fn compress(&self, data: &[f32]) -> Vec<u8> {
+    fn compress_append(&self, data: &[f32], out: &mut Vec<u8>) {
+        // Unlike RLE/ZVC, the LZ77 stage needs a byte view of the input and
+        // a token list; those scratch allocations are inherent to the
+        // software coder (zlib only serves as the paper's upper bound and
+        // is not the engine's hot path). The caller's output buffer is
+        // still reused.
         let mut bytes = Vec::with_capacity(data.len() * 4);
         for v in data {
             bytes.extend_from_slice(&v.to_le_bytes());
@@ -226,7 +276,7 @@ impl Compressor for Zlib {
         let lit_codes = huffman::canonical_codes(&lit_lens);
         let dist_codes = huffman::canonical_codes(&dist_lens);
 
-        let mut w = BitWriter::new();
+        let mut w = BitWriter::with_buffer(std::mem::take(out));
         // Header: 4-bit code lengths for both alphabets.
         for &l in &lit_lens {
             w.write_bits(l as u32, 4);
@@ -251,10 +301,15 @@ impl Compressor for Zlib {
             }
         }
         w.write_bits(lit_codes[EOB], lit_lens[EOB]);
-        w.finish()
+        *out = w.finish();
     }
 
-    fn decompress(&self, bytes: &[u8], element_count: usize) -> Result<Vec<f32>, DecodeError> {
+    fn decompress_append(
+        &self,
+        bytes: &[u8],
+        element_count: usize,
+        vals: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
         let mut r = BitReader::new(bytes);
         let mut lit_lens = vec![0u8; NUM_LITLEN];
         for l in lit_lens.iter_mut() {
@@ -328,11 +383,11 @@ impl Compressor for Zlib {
                 decoded: out.len() / 4,
             });
         }
-        let mut vals = Vec::with_capacity(element_count);
+        vals.reserve(element_count);
         for chunk in out.chunks_exact(4) {
             vals.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
         }
-        Ok(vals)
+        Ok(())
     }
 }
 
@@ -388,8 +443,8 @@ mod huffman {
             let mut merged = Vec::with_capacity(items.len() + packaged.len());
             let (mut a, mut b) = (0usize, 0usize);
             while a < items.len() || b < packaged.len() {
-                let take_item = b >= packaged.len()
-                    || (a < items.len() && items[a].freq <= packaged[b].freq);
+                let take_item =
+                    b >= packaged.len() || (a < items.len() && items[a].freq <= packaged[b].freq);
                 if take_item {
                     merged.push(items[a].clone());
                     a += 1;
@@ -596,7 +651,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let data: Vec<f32> = (0..2048)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 f32::from_bits((state >> 16) as u32 | 1)
             })
             .collect();
@@ -639,7 +696,7 @@ mod tests {
             for k in 0..run {
                 data.push((run + k % 3) as f32);
             }
-            data.push(-1.0 * run as f32);
+            data.push(-(run as f32));
         }
         roundtrip(&data);
     }
@@ -668,7 +725,10 @@ mod tests {
         assert!(deep <= shallow);
         // Both must still round-trip.
         let zl = Zlib::with_chain_depth(1);
-        assert_eq!(zl.decompress(&zl.compress(&data), data.len()).unwrap(), data);
+        assert_eq!(
+            zl.decompress(&zl.compress(&data), data.len()).unwrap(),
+            data
+        );
     }
 
     #[test]

@@ -68,8 +68,10 @@ impl Compressor for Zvc {
         "ZV"
     }
 
-    fn compress(&self, data: &[f32]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Zvc::compressed_size(data));
+    fn compress_append(&self, data: &[f32], out: &mut Vec<u8>) {
+        // O(1) worst-case bound (all words non-zero) — the exact analytic
+        // size would cost a full extra pass over `data`.
+        out.reserve(data.len() * 4 + data.len().div_ceil(ZVC_WINDOW_ELEMS) * 4);
         for chunk in data.chunks(ZVC_WINDOW_ELEMS) {
             let mut mask: u32 = 0;
             for (i, v) in chunk.iter().enumerate() {
@@ -86,22 +88,28 @@ impl Compressor for Zvc {
                 }
             }
         }
-        out
     }
 
-    fn decompress(&self, bytes: &[u8], element_count: usize) -> Result<Vec<f32>, DecodeError> {
-        let mut out = Vec::with_capacity(element_count);
+    fn decompress_append(
+        &self,
+        bytes: &[u8],
+        element_count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
+        out.reserve(element_count);
+        let base = out.len();
         let mut pos = 0usize;
-        while out.len() < element_count {
+        while out.len() - base < element_count {
             if pos + 4 > bytes.len() {
                 return Err(DecodeError::Truncated {
                     expected: element_count,
-                    decoded: out.len(),
+                    decoded: out.len() - base,
                 });
             }
-            let mask = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+            let mask =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
             pos += 4;
-            let window = (element_count - out.len()).min(ZVC_WINDOW_ELEMS);
+            let window = (element_count - (out.len() - base)).min(ZVC_WINDOW_ELEMS);
             if window < ZVC_WINDOW_ELEMS && (mask >> window) != 0 {
                 return Err(DecodeError::Corrupt("mask bits set beyond final window"));
             }
@@ -110,7 +118,7 @@ impl Compressor for Zvc {
                     if pos + 4 > bytes.len() {
                         return Err(DecodeError::Truncated {
                             expected: element_count,
-                            decoded: out.len(),
+                            decoded: out.len() - base,
                         });
                     }
                     let v = f32::from_le_bytes([
@@ -131,7 +139,18 @@ impl Compressor for Zvc {
                 expected: element_count,
             });
         }
-        Ok(out)
+        Ok(())
+    }
+
+    fn compressed_size(&self, data: &[f32]) -> usize {
+        Zvc::compressed_size(data)
+    }
+
+    fn compress(&self, data: &[f32]) -> Vec<u8> {
+        // One-shot form: exact-size allocation from the analytic size.
+        let mut out = Vec::with_capacity(Zvc::compressed_size(data));
+        self.compress_append(data, &mut out);
+        out
     }
 }
 

@@ -1,4 +1,4 @@
-use cdma_compress::{windowed, Algorithm, CompressionStats, DecodeError};
+use cdma_compress::{windowed, Algorithm, Codec, CompressionStats, DecodeError};
 use cdma_gpusim::{OffloadSim, OffloadSimResult, SystemConfig, ZvcEngine};
 use cdma_tensor::Tensor;
 
@@ -9,11 +9,19 @@ use cdma_tensor::Tensor;
 /// window), then run the compressed line sizes through the discrete-event
 /// DMA pipeline to obtain transfer timing under the engine's bandwidth
 /// provisioning and buffer capacity.
+///
+/// The codec is statically dispatched ([`Codec`]) and every hot-path buffer
+/// can be recycled across offloads: [`CdmaEngine::memcpy_compressed_reusing`]
+/// reuses a previous copy's stream storage, and
+/// [`CdmaEngine::memcpy_decompressed_into`] decompresses into a caller-owned
+/// buffer — so a steady-state train loop performs no per-layer allocation.
 #[derive(Debug, Clone, Copy)]
 pub struct CdmaEngine {
     cfg: SystemConfig,
     algorithm: Algorithm,
     window_bytes: usize,
+    /// Worker threads for window compression; 1 = sequential.
+    threads: usize,
 }
 
 /// The result of a `cudaMemcpyCompressed()`-style offload: the compressed
@@ -41,6 +49,17 @@ impl CompressedCopy {
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
     }
+
+    /// The contiguous compressed stream (window payloads back to back).
+    pub fn stream(&self) -> &windowed::WindowedStream {
+        &self.stream
+    }
+
+    /// Consumes the copy and returns its stream so the buffers can be
+    /// recycled via [`CdmaEngine::memcpy_compressed_reusing`].
+    pub fn into_stream(self) -> windowed::WindowedStream {
+        self.stream
+    }
 }
 
 impl CdmaEngine {
@@ -50,6 +69,7 @@ impl CdmaEngine {
             cfg,
             algorithm,
             window_bytes: windowed::DEFAULT_WINDOW_BYTES,
+            threads: 1,
         }
     }
 
@@ -62,10 +82,24 @@ impl CdmaEngine {
     /// 4 bytes; the paper studied 4 KB–64 KB and found little difference).
     pub fn with_window(mut self, window_bytes: usize) -> Self {
         assert!(
-            window_bytes >= 4 && window_bytes % 4 == 0,
+            window_bytes >= 4 && window_bytes.is_multiple_of(4),
             "window must be a positive multiple of 4 bytes"
         );
         self.window_bytes = window_bytes;
+        self
+    }
+
+    /// Opts in to parallel window compression with up to `threads` workers
+    /// (the software analogue of the engine's per-memory-controller
+    /// compressor units). Small transfers still compress sequentially; the
+    /// compressed stream is bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be at least 1");
+        self.threads = threads;
         self
     }
 
@@ -79,22 +113,40 @@ impl CdmaEngine {
         self.algorithm
     }
 
+    /// The statically-dispatched codec for the selected algorithm.
+    pub fn codec(&self) -> Codec {
+        self.algorithm.codec()
+    }
+
     /// Offloads an activation buffer GPU→CPU with on-the-fly compression:
     /// the `cudaMemcpyCompressed()` analogue.
     pub fn memcpy_compressed(&self, data: &[f32]) -> CompressedCopy {
+        self.memcpy_compressed_reusing(data, windowed::WindowedStream::default())
+    }
+
+    /// Like [`CdmaEngine::memcpy_compressed`], but recycles the stream of a
+    /// finished copy ([`CompressedCopy::into_stream`]) so repeated layer
+    /// offloads reuse the same compressed-byte buffer and offset table.
+    pub fn memcpy_compressed_reusing(
+        &self,
+        data: &[f32],
+        mut recycled: windowed::WindowedStream,
+    ) -> CompressedCopy {
         let codec = self.algorithm.codec();
-        let stream = windowed::WindowedStream::compress(codec.as_ref(), data, self.window_bytes);
+        if self.threads > 1 {
+            recycled.recompress_parallel(&codec, data, self.window_bytes, self.threads);
+        } else {
+            recycled.recompress(&codec, data, self.window_bytes);
+        }
+        let stream = recycled;
         let stats = stream.stats();
-        let lines: Vec<(u32, u32)> = stream
+        // Line table for the discrete-event pipeline, streamed straight off
+        // the window-offset table — no per-offload size vector is built.
+        let lines = stream
             .window_sizes()
-            .iter()
             .enumerate()
-            .map(|(i, &c)| {
-                let remaining = data.len() * 4 - i * self.window_bytes;
-                (remaining.min(self.window_bytes) as u32, c as u32)
-            })
-            .collect();
-        let transfer = OffloadSim::new(self.cfg).run_lines(&lines);
+            .map(|(i, c)| ((stream.window_elements(i) * 4) as u32, c as u32));
+        let transfer = OffloadSim::new(self.cfg).run_line_iter(lines);
         CompressedCopy {
             stream,
             algorithm: self.algorithm,
@@ -116,8 +168,26 @@ impl CdmaEngine {
     /// Returns a [`DecodeError`] if the stream is corrupt (a transfer
     /// fault).
     pub fn memcpy_decompressed(&self, copy: &CompressedCopy) -> Result<Vec<f32>, DecodeError> {
+        let mut out = Vec::new();
+        self.memcpy_decompressed_into(copy, &mut out)?;
+        Ok(out)
+    }
+
+    /// Streaming prefetch: decompresses into a caller-owned buffer (cleared
+    /// first), so per-layer prefetches in a training loop reuse one
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the stream is corrupt (a transfer
+    /// fault); `out` is left unspecified on error.
+    pub fn memcpy_decompressed_into(
+        &self,
+        copy: &CompressedCopy,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
         let codec = copy.algorithm.codec();
-        copy.stream.decompress(codec.as_ref())
+        copy.stream.decompress_into(&codec, out)
     }
 
     /// Estimated prefetch (CPU→GPU) time: the link moves the compressed
@@ -189,6 +259,49 @@ mod tests {
     }
 
     #[test]
+    fn parallel_offload_matches_sequential() {
+        let data = sparse_data(35, 1 << 20); // 4 MB: above the parallel floor
+        let cfg = SystemConfig::titan_x_pcie3();
+        for alg in Algorithm::ALL {
+            let seq = CdmaEngine::new(cfg, alg).memcpy_compressed(&data);
+            let par = CdmaEngine::new(cfg, alg)
+                .with_threads(4)
+                .memcpy_compressed(&data);
+            assert_eq!(seq.wire_bytes(), par.wire_bytes(), "{alg}");
+            assert_eq!(seq.transfer, par.transfer, "{alg}");
+            assert_eq!(
+                par.stream().as_bytes(),
+                seq.stream().as_bytes(),
+                "{alg} parallel stream must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn recycled_offload_reuses_stream_and_matches() {
+        let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+        let layer_a = sparse_data(40, 50_000);
+        let layer_b = sparse_data(25, 50_000);
+        let fresh_b = engine.memcpy_compressed(&layer_b);
+        let copy_a = engine.memcpy_compressed(&layer_a);
+        let recycled_b = engine.memcpy_compressed_reusing(&layer_b, copy_a.into_stream());
+        assert_eq!(recycled_b.wire_bytes(), fresh_b.wire_bytes());
+        assert_eq!(engine.memcpy_decompressed(&recycled_b).unwrap(), layer_b);
+    }
+
+    #[test]
+    fn decompress_into_reuses_buffer_across_layers() {
+        let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+        let mut out = Vec::new();
+        for n in [10_000usize, 8_000, 12_000] {
+            let data = sparse_data(30, n);
+            let copy = engine.memcpy_compressed(&data);
+            engine.memcpy_decompressed_into(&copy, &mut out).unwrap();
+            assert_eq!(out, data);
+        }
+    }
+
+    #[test]
     fn offload_tensor_uses_raw_layout_stream() {
         let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
         let mut gen = ActivationGen::seeded(3);
@@ -212,7 +325,9 @@ mod tests {
         let data = sparse_data(40, 65_536);
         let cfg = SystemConfig::titan_x_pcie3();
         let a = CdmaEngine::zvc(cfg).memcpy_compressed(&data);
-        let b = CdmaEngine::zvc(cfg).with_window(16 * 1024).memcpy_compressed(&data);
+        let b = CdmaEngine::zvc(cfg)
+            .with_window(16 * 1024)
+            .memcpy_compressed(&data);
         assert_eq!(a.stats.compressed_bytes, b.stats.compressed_bytes);
     }
 
@@ -221,6 +336,9 @@ mod tests {
         let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
         let copy = engine.memcpy_compressed(&[]);
         assert_eq!(copy.wire_bytes(), 0);
-        assert_eq!(engine.memcpy_decompressed(&copy).unwrap(), Vec::<f32>::new());
+        assert_eq!(
+            engine.memcpy_decompressed(&copy).unwrap(),
+            Vec::<f32>::new()
+        );
     }
 }

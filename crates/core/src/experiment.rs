@@ -193,10 +193,7 @@ pub fn density_figure(spec: &NetworkSpec) -> DensityFigure {
 }
 
 /// Same, from a pre-built profile.
-pub fn density_figure_from_profile(
-    spec: &NetworkSpec,
-    profile: &NetworkProfile,
-) -> DensityFigure {
+pub fn density_figure_from_profile(spec: &NetworkSpec, profile: &NetworkProfile) -> DensityFigure {
     let checkpoints: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let mut layers = Vec::new();
     for layer in spec.layers() {
@@ -204,7 +201,9 @@ pub fn density_figure_from_profile(
         if !(layer.relu || layer.is_pool()) {
             continue;
         }
-        let traj = profile.trajectory(&layer.name).expect("profile covers spec");
+        let traj = profile
+            .trajectory(&layer.name)
+            .expect("profile covers spec");
         let ds: Vec<f64> = checkpoints.iter().map(|&t| traj.density_at(t)).collect();
         layers.push((layer.name.clone(), ds));
     }
@@ -385,7 +384,9 @@ mod tests {
     fn fig11_has_all_cells() {
         let rows = fig11(&table());
         assert_eq!(rows.len(), 6 * 3 * 3);
-        assert!(rows.iter().all(|r| r.avg_ratio > 0.5 && r.max_ratio >= r.avg_ratio));
+        assert!(rows
+            .iter()
+            .all(|r| r.avg_ratio > 0.5 && r.max_ratio >= r.avg_ratio));
     }
 
     #[test]
@@ -448,7 +449,10 @@ mod tests {
             assert!(r.vdnn_performance <= 1.0 + 1e-9);
         }
         // v5 speedup ~2.2x on average.
-        let v5: Vec<&Fig3Row> = rows.iter().filter(|r| r.version == CudnnVersion::V5).collect();
+        let v5: Vec<&Fig3Row> = rows
+            .iter()
+            .filter(|r| r.version == CudnnVersion::V5)
+            .collect();
         let avg = v5.iter().map(|r| r.speedup_vs_v1).sum::<f64>() / v5.len() as f64;
         assert!((1.9..2.6).contains(&avg), "avg {avg}");
     }
@@ -457,7 +461,9 @@ mod tests {
     fn density_figures_cover_fig4_layers() {
         let fig = density_figure(&zoo::alexnet());
         let names: Vec<&str> = fig.layers.iter().map(|(n, _)| n.as_str()).collect();
-        for expected in ["conv0", "pool0", "conv1", "pool1", "conv2", "conv3", "conv4", "pool2", "fc1", "fc2"] {
+        for expected in [
+            "conv0", "pool0", "conv1", "pool1", "conv2", "conv3", "conv4", "pool2", "fc1", "fc2",
+        ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
         // Dense layers are filtered out.

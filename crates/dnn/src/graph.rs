@@ -141,7 +141,10 @@ impl Parallel {
     ///
     /// Panics if `branches` is empty.
     pub fn new(name: &str, branches: Vec<Sequential>) -> Self {
-        assert!(!branches.is_empty(), "parallel module needs at least one branch");
+        assert!(
+            !branches.is_empty(),
+            "parallel module needs at least one branch"
+        );
         Parallel {
             name: name.to_owned(),
             branches,
@@ -181,12 +184,7 @@ impl Layer for Parallel {
                 s
             );
         }
-        Shape4::new(
-            first.n,
-            shapes.iter().map(|s| s.c).sum(),
-            first.h,
-            first.w,
-        )
+        Shape4::new(first.n, shapes.iter().map(|s| s.c).sum(), first.h, first.w)
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
@@ -271,8 +269,7 @@ fn split_channels(t: &Tensor, channels: &[usize]) -> Vec<Tensor> {
             let ps = part.as_mut_slice();
             for n in 0..s.n {
                 let src_base = n * per_image_src + c_off * plane;
-                ps[n * chunk..(n + 1) * chunk]
-                    .copy_from_slice(&ts[src_base..src_base + chunk]);
+                ps[n * chunk..(n + 1) * chunk].copy_from_slice(&ts[src_base..src_base + chunk]);
             }
         }
         outs.push(part);
@@ -340,10 +337,7 @@ mod tests {
         let b = Tensor::from_fn(Shape4::new(2, 3, 3, 3), Layout::Nchw, |n, c, h, w| {
             -((n * 1000 + c * 100 + h * 10 + w) as f32)
         });
-        let cat = concat_channels(
-            &[a.clone(), b.clone()],
-            Shape4::new(2, 5, 3, 3),
-        );
+        let cat = concat_channels(&[a.clone(), b.clone()], Shape4::new(2, 5, 3, 3));
         assert_eq!(cat.get(0, 0, 1, 2), a.get(0, 0, 1, 2));
         assert_eq!(cat.get(1, 3, 2, 0), b.get(1, 1, 2, 0));
         let parts = split_channels(&cat, &[2, 3]);
@@ -360,10 +354,7 @@ mod tests {
         let mut inception = Parallel::new("inc", vec![b1, b2]);
         assert_eq!(inception.branch_count(), 2);
         let x = pattern_input();
-        assert_eq!(
-            inception.output_shape(x.shape()),
-            Shape4::new(2, 10, 4, 4)
-        );
+        assert_eq!(inception.output_shape(x.shape()), Shape4::new(2, 10, 4, 4));
         let y = inception.forward(&x, Mode::Train);
         assert_eq!(y.shape(), Shape4::new(2, 10, 4, 4));
     }

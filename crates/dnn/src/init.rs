@@ -102,7 +102,9 @@ mod tests {
         let mut large = vec![0f32; 4096];
         WeightInit::He.fill(&mut small, 8, 1, 3);
         WeightInit::He.fill(&mut large, 512, 1, 3);
-        let rms = |v: &[f32]| (v.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / v.len() as f64).sqrt();
+        let rms = |v: &[f32]| {
+            (v.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
         assert!(rms(&small) > 4.0 * rms(&large));
     }
 }

@@ -166,11 +166,7 @@ mod tests {
     #[test]
     fn tanh_is_odd() {
         let mut t = Saturating::tanh("t");
-        let x = Tensor::from_vec(
-            Shape4::new(1, 1, 1, 2),
-            Layout::Nchw,
-            vec![1.5, -1.5],
-        );
+        let x = Tensor::from_vec(Shape4::new(1, 1, 1, 2), Layout::Nchw, vec![1.5, -1.5]);
         let y = t.forward(&x, Mode::Train);
         assert!((y.as_slice()[0] + y.as_slice()[1]).abs() < 1e-6);
     }

@@ -49,7 +49,10 @@ impl Conv2d {
         pad: usize,
         seed: u64,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         assert!(in_c > 0 && out_c > 0, "channel counts must be positive");
         let mut weights = vec![0f32; out_c * in_c * kernel * kernel];
         let fan_in = in_c * kernel * kernel;
@@ -124,12 +127,9 @@ impl Conv2d {
                                     if iw < 0 || iw >= s.w as isize {
                                         continue;
                                     }
-                                    let xv = xs[n * xsn
-                                        + ic * xsc
-                                        + ih as usize * xsh
-                                        + iw as usize];
-                                    let wv =
-                                        self.weights[wbase + (ic * k + kh) * k + kw];
+                                    let xv =
+                                        xs[n * xsn + ic * xsc + ih as usize * xsh + iw as usize];
+                                    let wv = self.weights[wbase + (ic * k + kh) * k + kw];
                                     acc += xv * wv;
                                 }
                             }
@@ -363,7 +363,10 @@ mod tests {
             let yb = b.forward(&x, Mode::Train);
             assert_eq!(ya.shape(), yb.shape());
             for (p, q) in ya.as_slice().iter().zip(yb.as_slice()) {
-                assert!((p - q).abs() < 1e-4, "stride {stride} pad {pad}: {p} vs {q}");
+                assert!(
+                    (p - q).abs() < 1e-4,
+                    "stride {stride} pad {pad}: {p} vs {q}"
+                );
             }
         }
     }

@@ -126,7 +126,10 @@ mod tests {
         let density = y.density();
         assert!((density - 0.5).abs() < 0.08, "density {density}");
         // Survivors are scaled by 2x (inverted dropout).
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

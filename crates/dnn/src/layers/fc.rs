@@ -181,10 +181,7 @@ mod tests {
     #[test]
     fn output_shape_flattens() {
         let fc = FullyConnected::new("fc", 8, 5, 0);
-        assert_eq!(
-            fc.output_shape(Shape4::new(3, 2, 2, 2)),
-            Shape4::fc(3, 5)
-        );
+        assert_eq!(fc.output_shape(Shape4::new(3, 2, 2, 2)), Shape4::fc(3, 5));
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl Layer for Lrn {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cached.as_ref().expect("backward called before forward");
+        let cache = self
+            .cached
+            .as_ref()
+            .expect("backward called before forward");
         let s = cache.input.shape();
         assert_eq!(
             grad_out.shape(),

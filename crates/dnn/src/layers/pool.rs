@@ -35,7 +35,10 @@ impl Pool {
     ///
     /// Panics if `window` or `stride` is zero.
     pub fn new(name: &str, kind: PoolKind, window: usize, stride: usize) -> Self {
-        assert!(window > 0 && stride > 0, "window and stride must be positive");
+        assert!(
+            window > 0 && stride > 0,
+            "window and stride must be positive"
+        );
         Pool {
             name: name.to_owned(),
             kind,

@@ -105,7 +105,10 @@ impl PlateauSchedule {
     ///
     /// Panics unless `factor` is in `(0, 1)` and `patience > 0`.
     pub fn new(factor: f64, patience: usize, min_lr: f64) -> Self {
-        assert!((0.0..1.0).contains(&factor) && factor > 0.0, "factor must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&factor) && factor > 0.0,
+            "factor must be in (0, 1)"
+        );
         assert!(patience > 0, "patience must be positive");
         PlateauSchedule {
             factor,

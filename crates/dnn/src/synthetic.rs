@@ -54,7 +54,9 @@ impl SyntheticImages {
 
     /// Generates a batch of images with uniformly-sampled labels.
     pub fn batch(&mut self, n: usize) -> (Tensor, Vec<usize>) {
-        let labels: Vec<usize> = (0..n).map(|_| self.rng.gen_range(0..self.classes)).collect();
+        let labels: Vec<usize> = (0..n)
+            .map(|_| self.rng.gen_range(0..self.classes))
+            .collect();
         let images = self.batch_for_labels(&labels);
         (images, labels)
     }
@@ -110,7 +112,7 @@ fn class_signal(
     let family = label % 4;
     let variant = (label / 4 + 1) as f64;
     let freq = std::f64::consts::TAU * (1.0 + variant) / size;
-    let ch_flip = if channel % 2 == 0 { 1.0 } else { -1.0 };
+    let ch_flip = if channel.is_multiple_of(2) { 1.0 } else { -1.0 };
     match family {
         0 => (freq * h + phase).sin() * ch_flip,
         1 => (freq * w + phase).sin() * ch_flip,
@@ -176,7 +178,11 @@ mod tests {
             acc
         };
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt()
         };
         let c0a = mean_image(&mut gen, 0);
         let c0b = mean_image(&mut gen, 0);

@@ -68,11 +68,15 @@ impl DensityTrace {
             .iter()
             .map(|(t, samples)| {
                 let total: usize = samples.iter().map(|s| s.elements).sum();
-                let nonzero: f64 = samples
-                    .iter()
-                    .map(|s| s.density * s.elements as f64)
-                    .sum();
-                (*t, if total == 0 { 1.0 } else { nonzero / total as f64 })
+                let nonzero: f64 = samples.iter().map(|s| s.density * s.elements as f64).sum();
+                (
+                    *t,
+                    if total == 0 {
+                        1.0
+                    } else {
+                        nonzero / total as f64
+                    },
+                )
             })
             .collect()
     }

@@ -121,7 +121,10 @@ impl SystemConfig {
     /// second — the paper's analytical throttling model (Section VI).
     pub fn effective_offload_bw(&self, ratio: f64) -> f64 {
         assert!(ratio > 0.0, "compression ratio must be positive");
-        self.pcie_bw * ratio.min(self.max_exploitable_ratio()).max(1.0f64.min(ratio))
+        self.pcie_bw
+            * ratio
+                .min(self.max_exploitable_ratio())
+                .max(1.0f64.min(ratio))
     }
 }
 

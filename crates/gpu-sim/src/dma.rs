@@ -101,6 +101,19 @@ impl OffloadSim {
     /// Panics if any uncompressed line exceeds the DMA buffer capacity (it
     /// could never be issued).
     pub fn run_lines(&self, lines: &[(u32, u32)]) -> OffloadSimResult {
+        self.run_line_iter(lines.iter().copied())
+    }
+
+    /// Streaming form of [`OffloadSim::run_lines`]: consumes line sizes as
+    /// they are produced (e.g. zipped straight off a compressed stream's
+    /// window-size iterator) without materializing a line table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any uncompressed line exceeds the DMA buffer capacity (it
+    /// could never be issued).
+    pub fn run_line_iter(&self, lines: impl IntoIterator<Item = (u32, u32)>) -> OffloadSimResult {
+        let lines = lines.into_iter();
         let cfg = &self.cfg;
         let read_bw = cfg.usable_comp_bw();
         let link_bw = cfg.pcie_bw;
@@ -109,7 +122,7 @@ impl OffloadSim {
 
         let mut t_read_free = 0.0f64;
         let mut drain_free = 0.0f64;
-        let mut sched: Vec<Arrival> = Vec::with_capacity(lines.len());
+        let mut sched: Vec<Arrival> = Vec::with_capacity(lines.size_hint().0);
         let mut head = 0usize;
         let mut inflight: VecDeque<(f64, f64)> = VecDeque::new();
         let mut reserved = 0.0f64;
@@ -117,7 +130,7 @@ impl OffloadSim {
         let mut total_c = 0u64;
         let mut total_u = 0u64;
 
-        for &(u32u, u32c) in lines {
+        for (u32u, u32c) in lines {
             let u = u32u as f64;
             let c = u32c as f64;
             assert!(
@@ -313,9 +326,9 @@ mod tests {
             .map(|i| {
                 let u = 4096u32;
                 let c = match i % 3 {
-                    0 => 128,   // 32x
-                    1 => 1575,  // 2.6x
-                    _ => 4096,  // 1x
+                    0 => 128,  // 32x
+                    1 => 1575, // 2.6x
+                    _ => 4096, // 1x
                 };
                 (u, c)
             })

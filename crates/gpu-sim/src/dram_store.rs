@@ -239,7 +239,7 @@ mod tests {
         let store = CompressedDramStore::store(&data);
         // Dense line: 1 table sector + 4 data sectors.
         assert_eq!(store.line_read_sectors(0), 5);
-        let store = CompressedDramStore::store(&vec![0.0f32; 32]);
+        let store = CompressedDramStore::store(&[0.0f32; 32]);
         // Zero line: table only.
         assert_eq!(store.line_read_sectors(0), 1);
     }

@@ -35,14 +35,14 @@
 
 pub mod area;
 mod config;
-pub mod dram_store;
 mod dma;
-mod engine;
+pub mod dram_store;
 pub mod energy;
+mod engine;
 pub mod pipeline;
 
 pub use config::{LinkKind, SystemConfig};
 pub use dma::{OffloadSim, OffloadSimResult};
-pub use engine::ZvcEngine;
 pub use dram_store::CompressedDramStore;
+pub use engine::ZvcEngine;
 pub use pipeline::{ZvcCompressPipeline, ZvcDecompressPipeline};

@@ -160,7 +160,7 @@ impl ZvcCompressPipeline {
     /// hardware datapath is sector-granular).
     pub fn run(data: &[f32]) -> (Vec<u8>, u64) {
         assert!(
-            data.len() % WORDS_PER_SECTOR == 0,
+            data.len().is_multiple_of(WORDS_PER_SECTOR),
             "pipeline input must be whole 8-word sectors, got {} words",
             data.len()
         );
@@ -262,7 +262,7 @@ impl ZvcDecompressPipeline {
 /// Reference check used by tests and debug assertions: the pipeline output
 /// must be byte-identical to the architectural codec.
 pub fn pipeline_matches_codec(data: &[f32]) -> bool {
-    if data.len() % WORDS_PER_SECTOR != 0 {
+    if !data.len().is_multiple_of(WORDS_PER_SECTOR) {
         return false;
     }
     let (bytes, _) = ZvcCompressPipeline::run(data);
@@ -315,11 +315,7 @@ mod tests {
         for sectors in [1usize, 4, 32, 100] {
             let data = sample(sectors * WORDS_PER_SECTOR, 3);
             let (_, cycles) = ZvcCompressPipeline::run(&data);
-            assert_eq!(
-                cycles,
-                3 + sectors as u64 - 1,
-                "sectors {sectors}"
-            );
+            assert_eq!(cycles, 3 + sectors as u64 - 1, "sectors {sectors}");
         }
     }
 

@@ -1,88 +1,137 @@
 //! Property tests: conservation and monotonicity invariants of the
 //! discrete-event offload pipeline and the engine cycle models.
+//!
+//! The proptest crate is unavailable offline, so these are deterministic
+//! property loops over a seeded generator; every failure reproduces from
+//! its case index.
 
 use cdma_gpusim::{OffloadSim, SystemConfig, ZvcEngine};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn line_sets() -> impl Strategy<Value = Vec<(u32, u32)>> {
-    proptest::collection::vec(
-        (1u32..=4096, 0.02f64..1.2).prop_map(|(u, frac)| {
+const CASES: u64 = 48;
+
+fn line_set(rng: &mut StdRng) -> Vec<(u32, u32)> {
+    let n = rng.gen_range(1usize..200);
+    (0..n)
+        .map(|_| {
+            let u = rng.gen_range(1u32..=4096);
+            let frac = rng.gen_range(0.02f64..1.2);
             let c = ((u as f64 * frac).ceil() as u32).max(1);
             (u, c)
-        }),
-        1..200,
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn for_each_case(seed: u64, mut check: impl FnMut(u64, &mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ (case.wrapping_mul(0x9E3779B97F4A7C15)));
+        check(case, &mut rng);
+    }
+}
 
-    /// Byte accounting is conserved: the sim reports exactly the bytes fed.
-    #[test]
-    fn byte_conservation(lines in line_sets()) {
-        let r = OffloadSim::new(SystemConfig::titan_x_pcie3()).run_lines(&lines);
+/// Byte accounting is conserved: the sim reports exactly the bytes fed,
+/// whether the lines arrive as a slice or as a streamed iterator.
+#[test]
+fn byte_conservation() {
+    for_each_case(0xB17E5, |case, rng| {
+        let lines = line_set(rng);
+        let sim = OffloadSim::new(SystemConfig::titan_x_pcie3());
+        let r = sim.run_lines(&lines);
         let u: u64 = lines.iter().map(|&(u, _)| u as u64).sum();
         let c: u64 = lines.iter().map(|&(_, c)| c as u64).sum();
-        prop_assert_eq!(r.uncompressed_bytes, u);
-        prop_assert_eq!(r.compressed_bytes, c);
-    }
+        assert_eq!(r.uncompressed_bytes, u, "case {case}");
+        assert_eq!(r.compressed_bytes, c, "case {case}");
+        // The iterator entry point is the same simulation.
+        let r2 = sim.run_line_iter(lines.iter().copied());
+        assert_eq!(r, r2, "case {case}: slice vs iterator");
+    });
+}
 
-    /// Physical lower bounds always hold: the transfer can be no faster
-    /// than the link moving the compressed bytes, the read path moving the
-    /// uncompressed bytes, or one memory latency.
-    #[test]
-    fn physical_lower_bounds(lines in line_sets()) {
+/// Physical lower bounds always hold: the transfer can be no faster
+/// than the link moving the compressed bytes, the read path moving the
+/// uncompressed bytes, or one memory latency.
+#[test]
+fn physical_lower_bounds() {
+    for_each_case(0xB007, |case, rng| {
+        let lines = line_set(rng);
         let cfg = SystemConfig::titan_x_pcie3();
         let r = OffloadSim::new(cfg).run_lines(&lines);
         let link = r.compressed_bytes as f64 / cfg.pcie_bw;
         let read = r.uncompressed_bytes as f64 / cfg.usable_comp_bw();
-        prop_assert!(r.total_time >= link * 0.999, "{} < {}", r.total_time, link);
-        prop_assert!(r.total_time >= read * 0.999);
-        prop_assert!(r.total_time >= cfg.mem_latency);
-        prop_assert!(r.link_utilization() <= 1.0 + 1e-9);
-    }
+        assert!(
+            r.total_time >= link * 0.999,
+            "case {case}: {} < {link}",
+            r.total_time
+        );
+        assert!(r.total_time >= read * 0.999, "case {case}");
+        assert!(r.total_time >= cfg.mem_latency, "case {case}");
+        assert!(r.link_utilization() <= 1.0 + 1e-9, "case {case}");
+    });
+}
 
-    /// The DMA buffer never exceeds its capacity, for any traffic mix.
-    #[test]
-    fn buffer_capacity_respected(lines in line_sets()) {
+/// The DMA buffer never exceeds its capacity, for any traffic mix.
+#[test]
+fn buffer_capacity_respected() {
+    for_each_case(0xCAFE, |case, rng| {
+        let lines = line_set(rng);
         let cfg = SystemConfig::titan_x_pcie3();
         let r = OffloadSim::new(cfg).run_lines(&lines);
-        prop_assert!(
+        assert!(
             r.max_buffer_occupancy <= cfg.dma_buffer as f64 + 1.0,
-            "occupancy {} > buffer {}",
+            "case {case}: occupancy {} > buffer {}",
             r.max_buffer_occupancy,
             cfg.dma_buffer
         );
-    }
+    });
+}
 
-    /// Better compression never slows an offload down (uniform-ratio case).
-    #[test]
-    fn monotone_in_ratio(bytes in 1u64..(8 << 20), r1 in 1.0f64..4.0, r2 in 1.0f64..4.0) {
+/// Better compression never slows an offload down (uniform-ratio case).
+#[test]
+fn monotone_in_ratio() {
+    for_each_case(0x4A710, |case, rng| {
+        let bytes = rng.gen_range(1u64..(8 << 20));
+        let r1 = rng.gen_range(1.0f64..4.0);
+        let r2 = rng.gen_range(1.0f64..4.0);
         let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
         let sim = OffloadSim::new(SystemConfig::titan_x_pcie3());
         let t_lo = sim.run_uniform(bytes, lo).total_time;
         let t_hi = sim.run_uniform(bytes, hi).total_time;
-        prop_assert!(t_hi <= t_lo * 1.001, "ratio {hi} slower than {lo}: {t_hi} vs {t_lo}");
-    }
+        assert!(
+            t_hi <= t_lo * 1.001,
+            "case {case}: ratio {hi} slower than {lo}: {t_hi} vs {t_lo}"
+        );
+    });
+}
 
-    /// A bigger buffer never hurts.
-    #[test]
-    fn monotone_in_buffer(bytes in 1u64..(4 << 20), ratio in 1.0f64..16.0, kb in 8usize..70) {
+/// A bigger buffer never hurts.
+#[test]
+fn monotone_in_buffer() {
+    for_each_case(0xB0FFE4, |case, rng| {
+        let bytes = rng.gen_range(1u64..(4 << 20));
+        let ratio = rng.gen_range(1.0f64..16.0);
+        let kb = rng.gen_range(8usize..70);
         let base = SystemConfig::titan_x_pcie3();
-        let small = SystemConfig { dma_buffer: kb * 1024, ..base };
+        let small = SystemConfig {
+            dma_buffer: kb * 1024,
+            ..base
+        };
         let t_small = OffloadSim::new(small).run_uniform(bytes, ratio).total_time;
         let t_big = OffloadSim::new(base).run_uniform(bytes, ratio).total_time;
-        prop_assert!(t_big <= t_small * 1.001);
-    }
+        assert!(t_big <= t_small * 1.001, "case {case}");
+    });
+}
 
-    /// Engine cycle counts: streaming n sectors is always cheaper than
-    /// n separate lines, and throughput-consistent.
-    #[test]
-    fn engine_cycles_pipeline_properly(sectors in 1usize..500) {
+/// Engine cycle counts: streaming n sectors is always cheaper than
+/// n separate lines, and throughput-consistent.
+#[test]
+fn engine_cycles_pipeline_properly() {
+    for_each_case(0xC1C1E5, |case, rng| {
+        let sectors = rng.gen_range(1usize..500);
         let e = ZvcEngine::new(1e9);
         let streamed = e.compress_cycles(sectors * 32);
         let separate = sectors as u64 * e.compress_cycles(32);
-        prop_assert!(streamed <= separate);
-        prop_assert_eq!(streamed, 3 + sectors as u64 - 1);
-    }
+        assert!(streamed <= separate, "case {case}");
+        assert_eq!(streamed, 3 + sectors as u64 - 1, "case {case}");
+    });
 }

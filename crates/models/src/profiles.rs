@@ -150,10 +150,7 @@ fn is_adjustable(spec: &NetworkSpec, index: usize, layer: &LayerSpec) -> bool {
 }
 
 fn first_conv_index(spec: &NetworkSpec) -> usize {
-    spec.layers()
-        .iter()
-        .position(|l| l.is_conv())
-        .unwrap_or(0)
+    spec.layers().iter().position(|l| l.is_conv()).unwrap_or(0)
 }
 
 fn scale_trajectory(t: &DensityTrajectory, m: f64) -> DensityTrajectory {
@@ -184,8 +181,8 @@ fn raw_profile(spec: &NetworkSpec) -> Vec<LayerDensity> {
             DensityTrajectory::flat(0.5)
         } else if layer.relu {
             // Depth fraction among ReLU layers: deeper => sparser.
-            let depth = relu_layers.iter().position(|&j| j == i).unwrap_or(0) as f64
-                / relu_count as f64;
+            let depth =
+                relu_layers.iter().position(|&j| j == i).unwrap_or(0) as f64 / relu_count as f64;
             let j = jitter(&layer.name);
             if layer.is_fc() {
                 // FC layers: the sparsest (Section IV-A).
@@ -354,7 +351,10 @@ mod tests {
         let d_start = t.density_at(0.0);
         let d_mid = t.density_at(0.35);
         let d_end = t.density_at(1.0);
-        assert!(d_mid < d_start && d_mid < d_end, "U-curve: {d_start} {d_mid} {d_end}");
+        assert!(
+            d_mid < d_start && d_mid < d_end,
+            "U-curve: {d_start} {d_mid} {d_end}"
+        );
     }
 
     #[test]

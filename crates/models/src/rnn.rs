@@ -106,7 +106,10 @@ mod tests {
         // worth offloading, worth compressing.
         let spec = deep_speech_like(RnnActivation::Relu);
         let bytes = bptt_activation_bytes(&spec);
-        assert!((100 << 20..150 << 20).contains(&(bytes as usize)), "{bytes}");
+        assert!(
+            (100 << 20..150 << 20).contains(&(bytes as usize)),
+            "{bytes}"
+        );
     }
 
     #[test]

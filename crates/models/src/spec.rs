@@ -331,10 +331,7 @@ impl SpecBuilder {
             out: Shape4::new(1, out_c, h, w),
             flops: expand_flops,
             relu: true,
-            params: (in_c * c1x1
-                + 9 * c3x3_reduce * c3x3
-                + 25 * c5x5_reduce * c5x5
-                + out_c) as u64,
+            params: (in_c * c1x1 + 9 * c3x3_reduce * c3x3 + 25 * c5x5_reduce * c5x5 + out_c) as u64,
         });
         self.cur = Shape4::new(1, out_c, h, w);
         self
@@ -398,7 +395,10 @@ fn conv_out(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
 /// Pooling output extent: ceil rounding (Caffe's default), which is what
 /// produces NiN's 54 → 27 and GoogLeNet's 112 → 56 transitions.
 fn pool_out(input: usize, window: usize, stride: usize) -> usize {
-    assert!(input >= window, "input {input} smaller than window {window}");
+    assert!(
+        input >= window,
+        "input {input} smaller than window {window}"
+    );
     (input - window).div_ceil(stride) + 1
 }
 

@@ -6,9 +6,7 @@
 //! finishes in seconds while still exhibiting the Section IV sparsity
 //! dynamics.
 
-use cdma_dnn::{
-    Conv2d, Dropout, FullyConnected, Parallel, Pool, PoolKind, Relu, Sequential,
-};
+use cdma_dnn::{Conv2d, Dropout, FullyConnected, Parallel, Pool, PoolKind, Relu, Sequential};
 
 /// A tiny AlexNet-style pyramid for `classes`-way classification of
 /// 1×16×16 images: two conv/ReLU/pool stages and an FC classifier with
@@ -54,8 +52,8 @@ pub fn tiny_googlenet(classes: usize, seed: u64) -> Sequential {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdma_dnn::{Layer, Mode, Sgd, Trainer};
     use cdma_dnn::synthetic::SyntheticImages;
+    use cdma_dnn::{Layer, Mode, Sgd, Trainer};
     use cdma_tensor::{Layout, Shape4, Tensor};
 
     #[test]
@@ -86,6 +84,9 @@ mod tests {
         }
         let early: f64 = losses[..20].iter().sum::<f64>() / 20.0;
         let late: f64 = losses[losses.len() - 20..].iter().sum::<f64>() / 20.0;
-        assert!(late < early, "inception net should learn: {early} -> {late}");
+        assert!(
+            late < early,
+            "inception net should learn: {early} -> {late}"
+        );
     }
 }

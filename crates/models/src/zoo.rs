@@ -23,12 +23,48 @@ pub struct TableOneRow {
 
 /// The paper's Table I, verbatim.
 pub const TABLE_ONE: [TableOneRow; 6] = [
-    TableOneRow { network: "AlexNet", top1: 53.1, top5: 75.1, batch: 256, trained_kiter: 226 },
-    TableOneRow { network: "OverFeat", top1: 52.8, top5: 76.4, batch: 256, trained_kiter: 130 },
-    TableOneRow { network: "NiN", top1: 55.9, top5: 78.7, batch: 128, trained_kiter: 300 },
-    TableOneRow { network: "VGG", top1: 56.5, top5: 82.9, batch: 128, trained_kiter: 130 },
-    TableOneRow { network: "SqueezeNet", top1: 53.1, top5: 77.8, batch: 512, trained_kiter: 82 },
-    TableOneRow { network: "GoogLeNet", top1: 56.1, top5: 83.4, batch: 256, trained_kiter: 212 },
+    TableOneRow {
+        network: "AlexNet",
+        top1: 53.1,
+        top5: 75.1,
+        batch: 256,
+        trained_kiter: 226,
+    },
+    TableOneRow {
+        network: "OverFeat",
+        top1: 52.8,
+        top5: 76.4,
+        batch: 256,
+        trained_kiter: 130,
+    },
+    TableOneRow {
+        network: "NiN",
+        top1: 55.9,
+        top5: 78.7,
+        batch: 128,
+        trained_kiter: 300,
+    },
+    TableOneRow {
+        network: "VGG",
+        top1: 56.5,
+        top5: 82.9,
+        batch: 128,
+        trained_kiter: 130,
+    },
+    TableOneRow {
+        network: "SqueezeNet",
+        top1: 53.1,
+        top5: 77.8,
+        batch: 512,
+        trained_kiter: 82,
+    },
+    TableOneRow {
+        network: "GoogLeNet",
+        top1: 56.1,
+        top5: 83.4,
+        batch: 256,
+        trained_kiter: 212,
+    },
 ];
 
 /// All six networks, in the order the paper's figures list them.
@@ -228,7 +264,10 @@ mod tests {
         assert_eq!(net.layer("conv1").unwrap().out, Shape4::new(1, 96, 56, 56));
         assert_eq!(net.layer("pool1").unwrap().out, Shape4::new(1, 96, 28, 28));
         assert_eq!(net.layer("conv2").unwrap().out, Shape4::new(1, 256, 24, 24));
-        assert_eq!(net.layer("conv5").unwrap().out, Shape4::new(1, 1024, 12, 12));
+        assert_eq!(
+            net.layer("conv5").unwrap().out,
+            Shape4::new(1, 1024, 12, 12)
+        );
         assert_eq!(net.layer("pool5").unwrap().out, Shape4::new(1, 1024, 6, 6));
     }
 
@@ -246,9 +285,18 @@ mod tests {
     #[test]
     fn vgg_shapes_halve_through_pools() {
         let net = vgg();
-        assert_eq!(net.layer("conv1_2").unwrap().out, Shape4::new(1, 64, 224, 224));
-        assert_eq!(net.layer("pool1").unwrap().out, Shape4::new(1, 64, 112, 112));
-        assert_eq!(net.layer("conv3_3").unwrap().out, Shape4::new(1, 256, 56, 56));
+        assert_eq!(
+            net.layer("conv1_2").unwrap().out,
+            Shape4::new(1, 64, 224, 224)
+        );
+        assert_eq!(
+            net.layer("pool1").unwrap().out,
+            Shape4::new(1, 64, 112, 112)
+        );
+        assert_eq!(
+            net.layer("conv3_3").unwrap().out,
+            Shape4::new(1, 256, 56, 56)
+        );
         assert_eq!(net.layer("pool5").unwrap().out, Shape4::new(1, 512, 7, 7));
         assert_eq!(net.layer("fc6").unwrap().out, Shape4::fc(1, 4096));
     }
@@ -256,27 +304,57 @@ mod tests {
     #[test]
     fn squeezenet_shapes() {
         let net = squeezenet();
-        assert_eq!(net.layer("conv1").unwrap().out, Shape4::new(1, 96, 111, 111));
+        assert_eq!(
+            net.layer("conv1").unwrap().out,
+            Shape4::new(1, 96, 111, 111)
+        );
         assert_eq!(net.layer("pool1").unwrap().out, Shape4::new(1, 96, 55, 55));
-        assert_eq!(net.layer("fire2_expand").unwrap().out, Shape4::new(1, 128, 55, 55));
-        assert_eq!(net.layer("fire4_expand").unwrap().out, Shape4::new(1, 256, 55, 55));
+        assert_eq!(
+            net.layer("fire2_expand").unwrap().out,
+            Shape4::new(1, 128, 55, 55)
+        );
+        assert_eq!(
+            net.layer("fire4_expand").unwrap().out,
+            Shape4::new(1, 256, 55, 55)
+        );
         assert_eq!(net.layer("pool4").unwrap().out, Shape4::new(1, 256, 27, 27));
-        assert_eq!(net.layer("fire8_expand").unwrap().out, Shape4::new(1, 512, 27, 27));
+        assert_eq!(
+            net.layer("fire8_expand").unwrap().out,
+            Shape4::new(1, 512, 27, 27)
+        );
         assert_eq!(net.layer("pool8").unwrap().out, Shape4::new(1, 512, 13, 13));
-        assert_eq!(net.layer("conv10").unwrap().out, Shape4::new(1, 1000, 13, 13));
+        assert_eq!(
+            net.layer("conv10").unwrap().out,
+            Shape4::new(1, 1000, 13, 13)
+        );
     }
 
     #[test]
     fn googlenet_shapes() {
         let net = googlenet();
-        assert_eq!(net.layer("conv1").unwrap().out, Shape4::new(1, 64, 112, 112));
+        assert_eq!(
+            net.layer("conv1").unwrap().out,
+            Shape4::new(1, 64, 112, 112)
+        );
         assert_eq!(net.layer("pool1").unwrap().out, Shape4::new(1, 64, 56, 56));
         assert_eq!(net.layer("conv2").unwrap().out, Shape4::new(1, 192, 56, 56));
         assert_eq!(net.layer("pool2").unwrap().out, Shape4::new(1, 192, 28, 28));
-        assert_eq!(net.layer("inception_3a").unwrap().out, Shape4::new(1, 256, 28, 28));
-        assert_eq!(net.layer("inception_3b").unwrap().out, Shape4::new(1, 480, 28, 28));
-        assert_eq!(net.layer("inception_4e").unwrap().out, Shape4::new(1, 832, 14, 14));
-        assert_eq!(net.layer("inception_5b").unwrap().out, Shape4::new(1, 1024, 7, 7));
+        assert_eq!(
+            net.layer("inception_3a").unwrap().out,
+            Shape4::new(1, 256, 28, 28)
+        );
+        assert_eq!(
+            net.layer("inception_3b").unwrap().out,
+            Shape4::new(1, 480, 28, 28)
+        );
+        assert_eq!(
+            net.layer("inception_4e").unwrap().out,
+            Shape4::new(1, 832, 14, 14)
+        );
+        assert_eq!(
+            net.layer("inception_5b").unwrap().out,
+            Shape4::new(1, 1024, 7, 7)
+        );
         assert_eq!(net.layer("pool5").unwrap().out, Shape4::new(1, 1024, 1, 1));
     }
 

@@ -28,7 +28,10 @@ pub struct TrajectoryFit {
 ///
 /// Panics if fewer than 3 samples are given or any sample is out of range.
 pub fn fit_trajectory(samples: &[(f64, f64)]) -> TrajectoryFit {
-    assert!(samples.len() >= 3, "need at least 3 samples to fit a U-curve");
+    assert!(
+        samples.len() >= 3,
+        "need at least 3 samples to fit a U-curve"
+    );
     for &(t, d) in samples {
         assert!(
             (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&d),

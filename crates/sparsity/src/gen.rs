@@ -140,8 +140,8 @@ impl ActivationGen {
                 .map(|_| {
                     let cx = self.rng.gen_range(0.0..w as f64);
                     let cy = self.rng.gen_range(0.0..h as f64);
-                    let r = (cl.radius_frac * h.min(w) as f64).max(0.5)
-                        * self.rng.gen_range(0.5..1.5);
+                    let r =
+                        (cl.radius_frac * h.min(w) as f64).max(0.5) * self.rng.gen_range(0.5..1.5);
                     let amp = self.rng.gen_range(0.3..1.0);
                     (cx, cy, r, amp)
                 })
@@ -194,8 +194,7 @@ fn threshold_to_density(field: Vec<f32>, shape: Shape4, layout: Layout, density:
         for ci in 0..shape.c {
             for hi in 0..shape.h {
                 for wi in 0..shape.w {
-                    let off =
-                        ni * nchw_strides.0 + ci * nchw_strides.1 + hi * nchw_strides.2 + wi;
+                    let off = ni * nchw_strides.0 + ci * nchw_strides.1 + hi * nchw_strides.2 + wi;
                     let v = field[off];
                     // `>=` keeps at least `keep` elements; ties may keep a
                     // few more, bounded by the number of exact duplicates.

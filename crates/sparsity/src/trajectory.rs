@@ -56,7 +56,10 @@ impl DensityTrajectory {
     /// U-shaped, possibly degenerate).
     pub fn new(d_init: f64, d_min: f64, d_final: f64, t_min: f64) -> Self {
         for (name, v) in [("d_init", d_init), ("d_min", d_min), ("d_final", d_final)] {
-            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1], got {v}");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} must be in [0, 1], got {v}"
+            );
         }
         assert!(
             (0.0..1.0).contains(&t_min) && t_min > 0.0,

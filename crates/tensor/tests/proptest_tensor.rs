@@ -1,68 +1,115 @@
 //! Property-based tests for layout arithmetic and relayout round-trips.
+//!
+//! The proptest crate is unavailable offline, so these are deterministic
+//! property loops over a seeded generator; every failure reproduces from
+//! its case index.
 
 use cdma_tensor::{Layout, Shape4, Tensor};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn small_shape() -> impl Strategy<Value = Shape4> {
-    (1usize..5, 1usize..6, 1usize..7, 1usize..7).prop_map(|(n, c, h, w)| Shape4::new(n, c, h, w))
+const CASES: u64 = 128;
+
+fn small_shape(rng: &mut StdRng) -> Shape4 {
+    Shape4::new(
+        rng.gen_range(1usize..5),
+        rng.gen_range(1usize..6),
+        rng.gen_range(1usize..7),
+        rng.gen_range(1usize..7),
+    )
 }
 
-fn layout() -> impl Strategy<Value = Layout> {
-    prop_oneof![
-        Just(Layout::Nchw),
-        Just(Layout::Nhwc),
-        Just(Layout::Chwn)
-    ]
+fn layout(rng: &mut StdRng) -> Layout {
+    Layout::ALL[rng.gen_range(0usize..Layout::ALL.len())]
 }
 
-proptest! {
-    /// `coords` is the inverse of `offset` for every layout and shape.
-    #[test]
-    fn offset_coords_roundtrip(shape in small_shape(), l in layout(), seed in 0usize..10_000) {
-        let off = seed % shape.len();
-        let (n, c, h, w) = l.coords(shape, off);
-        prop_assert!(n < shape.n && c < shape.c && h < shape.h && w < shape.w);
-        prop_assert_eq!(l.offset(shape, n, c, h, w), off);
+fn for_each_case(seed: u64, mut check: impl FnMut(u64, &mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ (case.wrapping_mul(0x9E3779B97F4A7C15)));
+        check(case, &mut rng);
     }
+}
 
-    /// Relayout in any direction preserves every logical element.
-    #[test]
-    fn relayout_roundtrip(shape in small_shape(), a in layout(), b in layout(), seed in any::<u64>()) {
+/// `coords` is the inverse of `offset` for every layout and shape.
+#[test]
+fn offset_coords_roundtrip() {
+    for_each_case(0x7E5507, |case, rng| {
+        let shape = small_shape(rng);
+        let l = layout(rng);
+        let off = rng.gen_range(0usize..shape.len());
+        let (n, c, h, w) = l.coords(shape, off);
+        assert!(n < shape.n && c < shape.c && h < shape.h && w < shape.w);
+        assert_eq!(l.offset(shape, n, c, h, w), off, "case {case}");
+    });
+}
+
+/// Relayout in any direction preserves every logical element.
+#[test]
+fn relayout_roundtrip() {
+    for_each_case(0x2E1A, |case, rng| {
+        let shape = small_shape(rng);
+        let (a, b) = (layout(rng), layout(rng));
         // Deterministic pseudo-random contents including zeros.
-        let mut state = seed | 1;
+        let mut state = rng.gen_range(0u64..=u64::MAX / 2) | 1;
         let t = Tensor::from_fn(shape, a, |_, _, _, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            if state % 3 == 0 { 0.0 } else { (state % 97) as f32 - 48.0 }
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state % 3 == 0 {
+                0.0
+            } else {
+                (state % 97) as f32 - 48.0
+            }
         });
         let back = t.to_layout(b).to_layout(a);
-        prop_assert_eq!(back.as_slice(), t.as_slice());
-    }
+        assert_eq!(back.as_slice(), t.as_slice(), "case {case}");
+    });
+}
 
-    /// Density is invariant under relayout (zeros are neither created nor
-    /// destroyed by transposition).
-    #[test]
-    fn density_layout_invariant(shape in small_shape(), a in layout(), b in layout(), seed in any::<u64>()) {
-        let mut state = seed | 1;
+/// Density is invariant under relayout (zeros are neither created nor
+/// destroyed by transposition).
+#[test]
+fn density_layout_invariant() {
+    for_each_case(0xDE4517, |case, rng| {
+        let shape = small_shape(rng);
+        let (a, b) = (layout(rng), layout(rng));
+        let mut state = rng.gen_range(0u64..=u64::MAX / 2) | 1;
         let t = Tensor::from_fn(shape, a, |_, _, _, _| {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-            if state % 2 == 0 { 0.0 } else { 1.0 }
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            if state % 2 == 0 {
+                0.0
+            } else {
+                1.0
+            }
         });
         let u = t.to_layout(b);
-        prop_assert_eq!(t.count_nonzero(), u.count_nonzero());
-    }
+        assert_eq!(t.count_nonzero(), u.count_nonzero(), "case {case}");
+    });
+}
 
-    /// `from_fn` + `get` agree for all coordinates.
-    #[test]
-    fn from_fn_get_agree(shape in small_shape(), l in layout()) {
-        let t = Tensor::from_fn(shape, l, |n, c, h, w| (n * 1_000 + c * 100 + h * 10 + w) as f32);
+/// `from_fn` + `get` agree for all coordinates.
+#[test]
+fn from_fn_get_agree() {
+    for_each_case(0xF67E7, |case, rng| {
+        let shape = small_shape(rng);
+        let l = layout(rng);
+        let t = Tensor::from_fn(shape, l, |n, c, h, w| {
+            (n * 1_000 + c * 100 + h * 10 + w) as f32
+        });
         for n in 0..shape.n {
             for c in 0..shape.c {
                 for h in 0..shape.h {
                     for w in 0..shape.w {
-                        prop_assert_eq!(t.get(n, c, h, w), (n * 1_000 + c * 100 + h * 10 + w) as f32);
+                        assert_eq!(
+                            t.get(n, c, h, w),
+                            (n * 1_000 + c * 100 + h * 10 + w) as f32,
+                            "case {case}"
+                        );
                     }
                 }
             }
         }
-    }
+    });
 }

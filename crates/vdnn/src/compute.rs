@@ -153,7 +153,11 @@ mod tests {
         let mut prev = f64::INFINITY;
         for v in CudnnVersion::ALL {
             let t = ComputeModel::titan_x(v).step_compute_time(&spec);
-            assert!(t < prev, "{} should be faster than its predecessor", v.label());
+            assert!(
+                t < prev,
+                "{} should be faster than its predecessor",
+                v.label()
+            );
             prev = t;
         }
     }

@@ -80,8 +80,8 @@ impl MultiGpuSim {
         let allreduce = if self.gpus == 1 {
             0.0
         } else {
-            let bytes = spec.weight_bytes() as f64 * 2.0 * (self.gpus as f64 - 1.0)
-                / self.gpus as f64;
+            let bytes =
+                spec.weight_bytes() as f64 * 2.0 * (self.gpus as f64 - 1.0) / self.gpus as f64;
             bytes / self.per_gpu_link_bw()
         };
         (breakdown, allreduce)

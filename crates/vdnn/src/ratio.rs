@@ -49,7 +49,7 @@ impl RatioTable {
                 for alg in Algorithm::ALL {
                     let codec = alg.codec();
                     let stats = windowed::compress_stats(
-                        codec.as_ref(),
+                        &codec,
                         t.as_slice(),
                         windowed::DEFAULT_WINDOW_BYTES,
                     );

@@ -164,7 +164,11 @@ mod tests {
         let t = traffic_for(Algorithm::Zvc);
         let norm = t.layers.iter().find(|l| l.layer == "norm0").unwrap();
         // Fully dense data pays ZVC's mask overhead: ratio just below 1.
-        assert!((0.9..=1.05).contains(&norm.mean_ratio), "norm0 {}", norm.mean_ratio);
+        assert!(
+            (0.9..=1.05).contains(&norm.mean_ratio),
+            "norm0 {}",
+            norm.mean_ratio
+        );
     }
 
     #[test]

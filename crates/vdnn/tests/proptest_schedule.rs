@@ -1,33 +1,36 @@
 //! Property tests of the vDNN timeline simulation: the oracle is a lower
 //! bound, compression helps monotonically, and stalls account consistently.
+//!
+//! The proptest crate is unavailable offline, so these are deterministic
+//! property loops over a seeded generator; every failure reproduces from
+//! its case index.
 
 use cdma_gpusim::SystemConfig;
 use cdma_models::{PoolFlavor, SpecBuilder};
 use cdma_vdnn::{ComputeModel, CudnnVersion, StepSim, TransferPolicy};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 48;
 
 /// Random small CNN specs: alternating conv/pool pyramids ending in an fc.
-fn random_spec() -> impl Strategy<Value = cdma_models::NetworkSpec> {
-    (
-        2usize..6,                     // conv stages
-        8usize..64,                    // base channels
-        32usize..120,                  // input spatial extent
-        16usize..128,                  // batch
-        proptest::collection::vec(any::<bool>(), 6),
-    )
-        .prop_map(|(stages, base_c, hw, batch, pools)| {
-            let mut b = SpecBuilder::new("random", batch, (3, hw, hw));
-            let mut c = base_c;
-            for s in 0..stages {
-                b.conv(&format!("conv{s}"), c, 3, 1, 1, true);
-                if pools[s % pools.len()] && b.current().h >= 4 {
-                    b.pool(&format!("pool{s}"), PoolFlavor::Max, 2, 2);
-                }
-                c = (c * 2).min(256);
-            }
-            b.fc("fc", 10, false);
-            b.build()
-        })
+fn random_spec(rng: &mut StdRng) -> cdma_models::NetworkSpec {
+    let stages = rng.gen_range(2usize..6);
+    let base_c = rng.gen_range(8usize..64);
+    let hw = rng.gen_range(32usize..120);
+    let batch = rng.gen_range(16usize..128);
+    let pools: Vec<bool> = (0..6).map(|_| rng.gen_range(0u32..2) == 1).collect();
+    let mut b = SpecBuilder::new("random", batch, (3, hw, hw));
+    let mut c = base_c;
+    for s in 0..stages {
+        b.conv(&format!("conv{s}"), c, 3, 1, 1, true);
+        if pools[s % pools.len()] && b.current().h >= 4 {
+            b.pool(&format!("pool{s}"), PoolFlavor::Max, 2, 2);
+        }
+        c = (c * 2).min(256);
+    }
+    b.fc("fc", 10, false);
+    b.build()
 }
 
 fn sim() -> StepSim {
@@ -37,58 +40,96 @@ fn sim() -> StepSim {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn for_each_case(seed: u64, mut check: impl FnMut(u64, &mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ (case.wrapping_mul(0x9E3779B97F4A7C15)));
+        check(case, &mut rng);
+    }
+}
 
-    /// The oracle lower-bounds every policy on every network.
-    #[test]
-    fn oracle_is_a_lower_bound(spec in random_spec(), ratio in 1.0f64..20.0) {
+/// The oracle lower-bounds every policy on every network.
+#[test]
+fn oracle_is_a_lower_bound() {
+    for_each_case(0x04AC1E, |case, rng| {
+        let spec = random_spec(rng);
+        let ratio = rng.gen_range(1.0f64..20.0);
         let s = sim();
         let oracle = s.step_time(&spec, TransferPolicy::Oracle).total();
-        let vdnn = s.step_time(&spec, TransferPolicy::uniform(&spec, 1.0)).total();
-        let cdma = s.step_time(&spec, TransferPolicy::uniform(&spec, ratio)).total();
-        prop_assert!(oracle <= vdnn * 1.000001);
-        prop_assert!(oracle <= cdma * 1.000001);
-    }
+        let vdnn = s
+            .step_time(&spec, TransferPolicy::uniform(&spec, 1.0))
+            .total();
+        let cdma = s
+            .step_time(&spec, TransferPolicy::uniform(&spec, ratio))
+            .total();
+        assert!(oracle <= vdnn * 1.000001, "case {case}");
+        assert!(oracle <= cdma * 1.000001, "case {case}");
+    });
+}
 
-    /// Higher compression ratio never hurts step time.
-    #[test]
-    fn compression_monotone(spec in random_spec(), r1 in 1.0f64..16.0, r2 in 1.0f64..16.0) {
+/// Higher compression ratio never hurts step time.
+#[test]
+fn compression_monotone() {
+    for_each_case(0x4070, |case, rng| {
+        let spec = random_spec(rng);
+        let r1 = rng.gen_range(1.0f64..16.0);
+        let r2 = rng.gen_range(1.0f64..16.0);
         let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
         let s = sim();
-        let t_lo = s.step_time(&spec, TransferPolicy::uniform(&spec, lo)).total();
-        let t_hi = s.step_time(&spec, TransferPolicy::uniform(&spec, hi)).total();
-        prop_assert!(t_hi <= t_lo * 1.000001);
-    }
+        let t_lo = s
+            .step_time(&spec, TransferPolicy::uniform(&spec, lo))
+            .total();
+        let t_hi = s
+            .step_time(&spec, TransferPolicy::uniform(&spec, hi))
+            .total();
+        assert!(t_hi <= t_lo * 1.000001, "case {case}");
+    });
+}
 
-    /// Stalls never exceed the phase they occur in, and the step equals
-    /// forward + backward.
-    #[test]
-    fn breakdown_is_consistent(spec in random_spec()) {
+/// Stalls never exceed the phase they occur in, and the step equals
+/// forward + backward.
+#[test]
+fn breakdown_is_consistent() {
+    for_each_case(0xB4EAD, |case, rng| {
+        let spec = random_spec(rng);
         let s = sim();
         let b = s.step_time(&spec, TransferPolicy::uniform(&spec, 1.0));
-        prop_assert!(b.forward_stall <= b.forward + 1e-12);
-        prop_assert!(b.backward_stall <= b.backward + 1e-12);
-        prop_assert!((b.total() - (b.forward + b.backward)).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&b.stall_fraction()));
-    }
+        assert!(b.forward_stall <= b.forward + 1e-12, "case {case}");
+        assert!(b.backward_stall <= b.backward + 1e-12, "case {case}");
+        assert!(
+            (b.total() - (b.forward + b.backward)).abs() < 1e-12,
+            "case {case}"
+        );
+        assert!((0.0..=1.0).contains(&b.stall_fraction()), "case {case}");
+    });
+}
 
-    /// Conv-only offloading is never slower than offload-all at equal
-    /// ratios (it strictly transfers a subset).
-    #[test]
-    fn conv_only_never_slower(spec in random_spec(), ratio in 1.0f64..8.0) {
+/// Conv-only offloading is never slower than offload-all at equal
+/// ratios (it strictly transfers a subset).
+#[test]
+fn conv_only_never_slower() {
+    for_each_case(0xC04F, |case, rng| {
+        let spec = random_spec(rng);
+        let ratio = rng.gen_range(1.0f64..8.0);
         let s = sim();
         let n = spec.layers().len();
-        let all = s.step_time(&spec, TransferPolicy::OffloadAll(vec![ratio; n])).total();
-        let conv = s.step_time(&spec, TransferPolicy::OffloadConv(vec![ratio; n])).total();
-        prop_assert!(conv <= all * 1.000001);
-    }
+        let all = s
+            .step_time(&spec, TransferPolicy::OffloadAll(vec![ratio; n]))
+            .total();
+        let conv = s
+            .step_time(&spec, TransferPolicy::OffloadConv(vec![ratio; n]))
+            .total();
+        assert!(conv <= all * 1.000001, "case {case}");
+    });
+}
 
-    /// Normalized performance is in (0, 1] for transfer policies.
-    #[test]
-    fn normalized_performance_bounded(spec in random_spec(), ratio in 1.0f64..32.0) {
+/// Normalized performance is in (0, 1] for transfer policies.
+#[test]
+fn normalized_performance_bounded() {
+    for_each_case(0x904B, |case, rng| {
+        let spec = random_spec(rng);
+        let ratio = rng.gen_range(1.0f64..32.0);
         let s = sim();
         let p = s.normalized_performance(&spec, TransferPolicy::uniform(&spec, ratio));
-        prop_assert!(p > 0.0 && p <= 1.0 + 1e-9, "perf {p}");
-    }
+        assert!(p > 0.0 && p <= 1.0 + 1e-9, "case {case}: perf {p}");
+    });
 }

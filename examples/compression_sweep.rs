@@ -20,11 +20,8 @@ fn main() {
             print!("{density:<8.2} {layout:<7}");
             for alg in Algorithm::ALL {
                 let codec = alg.codec();
-                let stats = windowed::compress_stats(
-                    codec.as_ref(),
-                    t.as_slice(),
-                    windowed::DEFAULT_WINDOW_BYTES,
-                );
+                let stats =
+                    windowed::compress_stats(&codec, t.as_slice(), windowed::DEFAULT_WINDOW_BYTES);
                 print!(" {:<7.2}", stats.ratio());
             }
             println!(" {:<7.2}", Zvc::analytic_ratio(density));

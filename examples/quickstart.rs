@@ -21,13 +21,22 @@ fn main() {
     let mut gen = ActivationGen::seeded(2018);
     let activations = gen.generate(shape, Layout::Nchw, 0.40);
 
-    println!("offloading {} MB of activation maps...", activations.bytes() / (1 << 20));
+    println!(
+        "offloading {} MB of activation maps...",
+        activations.bytes() / (1 << 20)
+    );
     let copy = engine.offload_tensor(&activations);
 
     println!("  compression ratio : {:.2}x (ZVC)", copy.stats.ratio());
     println!("  bytes on PCIe     : {} MB", copy.wire_bytes() / (1 << 20));
-    println!("  transfer time     : {:.2} ms (simulated)", copy.transfer.total_time * 1e3);
-    println!("  speedup vs vDNN   : {:.2}x", engine.offload_speedup(&copy));
+    println!(
+        "  transfer time     : {:.2} ms (simulated)",
+        copy.transfer.total_time * 1e3
+    );
+    println!(
+        "  speedup vs vDNN   : {:.2}x",
+        engine.offload_speedup(&copy)
+    );
     println!(
         "  DMA buffer peak   : {:.1} KB of {} KB",
         copy.transfer.max_buffer_occupancy / 1024.0,

@@ -46,6 +46,11 @@ fn main() {
 
     let (test_x, test_y) = data.batch(256);
     let (loss, acc) = trainer.evaluate(&test_x, &test_y);
-    println!("\nfinal: loss {loss:.3}, top-1 accuracy {:.1}% (chance 25%)", acc * 100.0);
-    println!("note how the compression ratio tracks 32/(1+32*density) as training sparsifies the net.");
+    println!(
+        "\nfinal: loss {loss:.3}, top-1 accuracy {:.1}% (chance 25%)",
+        acc * 100.0
+    );
+    println!(
+        "note how the compression ratio tracks 32/(1+32*density) as training sparsifies the net."
+    );
 }

@@ -14,6 +14,43 @@
 //! | [`vdnn`] | `cdma-vdnn` | offload/prefetch scheduling and compute model |
 //! | [`core`] | `cdma-core` | the cDMA engine + experiment drivers |
 //!
+//! # The streaming compression API
+//!
+//! The hot path mirrors the hardware's no-allocation design. Codecs are
+//! selected through the statically-dispatched [`compress::Codec`] enum
+//! (`Algorithm::codec()` — no `Box` per call), and the primitive operations
+//! write into caller-owned buffers:
+//!
+//! * [`compress::Compressor::compress_into`] /
+//!   [`compress::Compressor::decompress_into`] — clear-and-reuse a `Vec`,
+//!   so repeated calls perform no allocation after the first. Use these in
+//!   any per-window / per-layer / per-step loop.
+//! * [`compress::Compressor::compress`] / `decompress` — one-shot
+//!   conveniences that allocate, implemented on the streaming primitives.
+//! * [`compress::windowed::WindowedStream`] — a whole activation map
+//!   compressed in independent 4 KB windows, stored as **one contiguous
+//!   byte buffer** plus an O(1) offset table (`window_sizes()` borrows; it
+//!   does not allocate), with an opt-in multi-threaded path
+//!   (`compress_parallel`) for multi-megabyte maps.
+//! * [`core::CdmaEngine`] — `memcpy_compressed_reusing` recycles a previous
+//!   copy's stream storage and `memcpy_decompressed_into` prefetches into a
+//!   reusable buffer, so a steady-state training loop's offload path is
+//!   allocation-free.
+//!
+//! ```
+//! use cdma::compress::{Algorithm, Compressor};
+//!
+//! let codec = Algorithm::Zvc.codec(); // static dispatch
+//! let data = vec![0.0f32; 1024];
+//! let mut wire = Vec::new();
+//! let mut back = Vec::new();
+//! for _layer in 0..3 {
+//!     codec.compress_into(&data, &mut wire); // buffers reused every pass
+//!     codec.decompress_into(&wire, data.len(), &mut back).unwrap();
+//!     assert_eq!(back, data);
+//! }
+//! ```
+//!
 //! Start with the `quickstart` example:
 //!
 //! ```bash

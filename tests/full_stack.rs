@@ -100,8 +100,14 @@ fn dropout_increases_compressibility_in_training_mode() {
                 eval_out = Some(t.clone());
             }
         });
-    let train_ratio = engine.offload_tensor(&train_out.expect("drop1")).stats.ratio();
-    let eval_ratio = engine.offload_tensor(&eval_out.expect("drop1")).stats.ratio();
+    let train_ratio = engine
+        .offload_tensor(&train_out.expect("drop1"))
+        .stats
+        .ratio();
+    let eval_ratio = engine
+        .offload_tensor(&eval_out.expect("drop1"))
+        .stats
+        .ratio();
     assert!(
         train_ratio > eval_ratio * 1.3,
         "dropout-active activations should compress better: {train_ratio:.2} vs {eval_ratio:.2}"

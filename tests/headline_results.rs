@@ -68,7 +68,14 @@ fn zlib_adds_almost_nothing_over_zvc() {
     };
     use cdma::compress::Algorithm;
     let mut gains = Vec::new();
-    for net in ["AlexNet", "OverFeat", "NiN", "VGG", "SqueezeNet", "GoogLeNet"] {
+    for net in [
+        "AlexNet",
+        "OverFeat",
+        "NiN",
+        "VGG",
+        "SqueezeNet",
+        "GoogLeNet",
+    ] {
         let zv = perf(net, experiment::PerfConfig::Cdma(Algorithm::Zvc));
         let zl = perf(net, experiment::PerfConfig::Cdma(Algorithm::Zlib));
         gains.push(zl / zv - 1.0);

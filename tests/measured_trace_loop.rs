@@ -38,15 +38,14 @@ fn fitted_trajectory_predicts_measured_compression() {
         if step == total_steps - 1 {
             // Keep the real final activations for the compression check.
             let mut act = None;
-            let _ = trainer.net.forward_probed(
-                &probe,
-                cdma::dnn::Mode::Eval,
-                &mut |name, _, out| {
-                    if name == "relu1" {
-                        act = Some(out.clone());
-                    }
-                },
-            );
+            let _ =
+                trainer
+                    .net
+                    .forward_probed(&probe, cdma::dnn::Mode::Eval, &mut |name, _, out| {
+                        if name == "relu1" {
+                            act = Some(out.clone());
+                        }
+                    });
             last_activations = act;
         }
     }
@@ -68,8 +67,7 @@ fn fitted_trajectory_predicts_measured_compression() {
     // ratio of the *actual* final activations.
     let act = last_activations.expect("captured final activations");
     let predicted_ratio = Zvc::analytic_ratio(fit.trajectory.density_at(1.0));
-    let measured_ratio =
-        (act.len() * 4) as f64 / Zvc::compressed_size(act.as_slice()) as f64;
+    let measured_ratio = (act.len() * 4) as f64 / Zvc::compressed_size(act.as_slice()) as f64;
     assert!(
         (predicted_ratio - measured_ratio).abs() / measured_ratio < 0.25,
         "fit predicts {predicted_ratio:.2}x, measured {measured_ratio:.2}x"
@@ -91,8 +89,7 @@ fn network_density_trace_matches_layer_aggregation() {
     }
     // Element-weighted aggregate must sit between the min and max layer
     // densities at every checkpoint.
-    for ((_, net_d), (_, layer_samples)) in
-        trace.network_density().iter().zip(trace.checkpoints())
+    for ((_, net_d), (_, layer_samples)) in trace.network_density().iter().zip(trace.checkpoints())
     {
         let min = layer_samples
             .iter()

@@ -52,12 +52,17 @@ fn zvc_layout_robustness_vs_rle() {
         let mut gen = ActivationGen::seeded(9);
         let t = gen.generate(shape, layout, 0.35);
         let codec = alg.codec();
-        windowed::compress_stats(codec.as_ref(), t.as_slice(), 4096).ratio()
+        windowed::compress_stats(&codec, t.as_slice(), 4096).ratio()
     };
-    let zv_spread = (ratio(Algorithm::Zvc, Layout::Nchw) - ratio(Algorithm::Zvc, Layout::Nhwc)).abs();
-    let rl_spread = (ratio(Algorithm::Rle, Layout::Nchw) - ratio(Algorithm::Rle, Layout::Nhwc)).abs();
+    let zv_spread =
+        (ratio(Algorithm::Zvc, Layout::Nchw) - ratio(Algorithm::Zvc, Layout::Nhwc)).abs();
+    let rl_spread =
+        (ratio(Algorithm::Rle, Layout::Nchw) - ratio(Algorithm::Rle, Layout::Nhwc)).abs();
     assert!(zv_spread < 0.02, "ZVC spread {zv_spread}");
-    assert!(rl_spread > 5.0 * zv_spread, "RLE spread {rl_spread} vs ZVC {zv_spread}");
+    assert!(
+        rl_spread > 5.0 * zv_spread,
+        "RLE spread {rl_spread} vs ZVC {zv_spread}"
+    );
 }
 
 /// Section V-B: "up to (16 x 13.8) = 220.8 GB/sec crossbar bandwidth must
