@@ -1,0 +1,73 @@
+//! Micro-benchmark of the event-driven training-step timeline: one full
+//! simulated AlexNet step at each of the three fidelity levels, reporting
+//! wall time per simulated step and timeline events per second.
+//!
+//! Run with `cargo bench -p cdma-bench --bench timeline`. The analytic
+//! levels process a handful of stage events; the measured level pushes
+//! every real 4 KB line of the step through the incremental DMA pipeline,
+//! so its events/second figure is the simulator's core throughput metric.
+
+use cdma_bench::micro::{group, Harness};
+use cdma_core::{measured, CdmaEngine};
+use cdma_gpusim::SystemConfig;
+use cdma_models::{profiles, zoo};
+use cdma_tensor::Layout;
+use cdma_vdnn::timeline::{ProfiledDensity, TimelineSim, TransferSource, UniformRatio};
+use cdma_vdnn::{ComputeModel, CudnnVersion, RatioTable};
+
+fn main() {
+    let cfg = SystemConfig::titan_x_pcie3();
+    let spec = zoo::alexnet();
+    let profile = profiles::density_profile(&spec);
+    let table = RatioTable::build_fast(5);
+    let engine = CdmaEngine::zvc(cfg);
+    let sim = TimelineSim::new(cfg, ComputeModel::titan_x(CudnnVersion::V5));
+
+    let uniform = UniformRatio::uniform(&spec, 2.6);
+    let profiled = ProfiledDensity::at_checkpoint(
+        &spec,
+        &profile,
+        0.5,
+        engine.algorithm(),
+        Layout::Nchw,
+        &table,
+    );
+    println!(
+        "synthesizing the measured stream (real ZVC lines, batch {})...",
+        spec.batch()
+    );
+    let stream = measured::synthesized_stream(&engine, &spec, &profile, 0.5, 42);
+
+    let sources: [(&str, &dyn TransferSource); 3] = [
+        ("uniform_ratio", &uniform),
+        ("profiled_density", &profiled),
+        ("measured_stream", &stream),
+    ];
+
+    let mut h = Harness::new();
+    group("one simulated AlexNet training step per iteration");
+    let mut events = Vec::new();
+    for (label, source) in sources {
+        events.push(sim.simulate(&spec, source).events_processed());
+        h.bench(label, 0, || sim.simulate(&spec, source));
+    }
+
+    println!();
+    for ((label, _), ev) in sources.iter().zip(&events) {
+        let per_iter = h.get(label).expect("benched").per_iter.as_secs_f64();
+        println!(
+            "{label:<20} {ev:>9} events/step  {:>12.2} M events/s",
+            *ev as f64 / per_iter / 1e6
+        );
+    }
+
+    // Acceptance: the measured level must stay interactive — an AlexNet
+    // step with hundreds of thousands of real lines simulates in well
+    // under a second.
+    let measured_iter = h.get("measured_stream").expect("benched").per_iter;
+    assert!(
+        measured_iter.as_secs_f64() < 1.0,
+        "measured-fidelity step took {measured_iter:?}"
+    );
+    println!("\nok: measured-fidelity AlexNet step simulates in {measured_iter:?}");
+}

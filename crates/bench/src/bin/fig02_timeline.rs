@@ -1,59 +1,98 @@
 //! Fig. 2(b)-style ASCII Gantt chart of the vDNN offload/prefetch overlap
-//! for one network, showing where the "time wasted" stalls sit and how
-//! cDMA shrinks them.
+//! for one network, rendered from the event-driven training-step timeline:
+//! the uncompressed-vDNN stage records show where the "time wasted" stalls
+//! sit, and a measured-fidelity run (real ZVC line sizes through the
+//! incremental DMA pipeline) shows how cDMA shrinks them.
 
 use cdma_bench::banner;
-use cdma_compress::Algorithm;
+use cdma_core::{experiment, measured, CdmaEngine};
 use cdma_gpusim::SystemConfig;
 use cdma_models::{profiles, zoo};
-use cdma_tensor::Layout;
-use cdma_vdnn::{traffic, ComputeModel, CudnnVersion, RatioTable};
+use cdma_vdnn::timeline::{Phase, TimelineSim, UniformRatio};
+use cdma_vdnn::{ComputeModel, CudnnVersion, RatioTable, TransferPolicy};
 
 fn main() {
     banner(
         "Figure 2(b): forward-pass timeline — compute vs offload per layer (GoogLeNet)",
-        "each row: compute time '#', offload time '~', stall '!' where offload overruns compute",
+        "each row: compute '#', stall '!' where the offload overruns compute, cDMA transfer '~'",
     );
     let spec = zoo::googlenet();
     let cfg = SystemConfig::titan_x_pcie3();
-    let model = ComputeModel::titan_x(CudnnVersion::V5);
+    let sim = TimelineSim::new(cfg, ComputeModel::titan_x(CudnnVersion::V5));
     let table = RatioTable::build_fast(42);
     let profile = profiles::density_profile(&spec);
-    let t = traffic::network_traffic(&spec, &profile, Algorithm::Zvc, Layout::Nchw, &table);
-    let ratios = traffic::per_layer_ratios(&t);
+    let engine = CdmaEngine::zvc(cfg);
 
-    let batch = spec.batch();
+    // Uncompressed vDNN at the analytic level; cDMA at the measured level
+    // (real ZVC line sizes of profiled activations, mid-training).
+    let vdnn = sim.simulate(&spec, &UniformRatio::uniform(&spec, 1.0));
+    let stream = measured::synthesized_stream(&engine, &spec, &profile, 0.5, 42);
+    let cdma = sim.simulate(&spec, &stream);
+
     let ms_per_col = 2.0e-3; // one column = 2 ms
+    let cols = |t: f64| (t / ms_per_col).round() as usize;
     println!(
-        "{:<18} {:>7}  vDNN timeline (1 col = 2 ms)",
+        "{:<18} {:>7}  vDNN vs cDMA-ZV timelines (1 col = 2 ms)",
         "layer", "compute"
     );
+    let forward = |tl: &cdma_vdnn::StepTimeline, i: usize| {
+        *tl.stages()
+            .iter()
+            .find(|s| s.phase == Phase::Forward && s.layer == i)
+            .expect("forward stage")
+    };
     for (i, layer) in spec.layers().iter().enumerate().take(14) {
-        let compute = model.forward_time(layer, batch);
-        // Offload of this layer's input (previous layer's output).
-        let bytes = if i == 0 {
-            (spec.input().per_image() * batch * 4) as f64
-        } else {
-            spec.layers()[i - 1].activation_bytes(batch) as f64
-        };
-        let vdnn_offload = bytes / cfg.effective_offload_bw(1.0);
-        let cdma_offload =
-            bytes / cfg.effective_offload_bw(if i == 0 { 1.0 } else { ratios[i - 1] });
-
-        let cols = |t: f64| (t / ms_per_col).round() as usize;
-        let c = cols(compute);
-        let ov = cols(vdnn_offload);
-        let oc = cols(cdma_offload);
-        let mut line = String::new();
-        line.push_str(&"#".repeat(c.max(1)));
-        if ov > c {
-            line.push_str(&"!".repeat(ov - c)); // vDNN stall
+        let sv = forward(&vdnn, i);
+        let sc = forward(&cdma, i);
+        let c = cols(sv.compute);
+        let mut line = "#".repeat(c.max(1));
+        if sv.stall() > 0.0 {
+            line.push_str(&"!".repeat(cols(sv.transfer).saturating_sub(c).max(1)));
         }
-        let mut cline = String::new();
-        cline.push_str(&"~".repeat(oc.max(1)));
-        println!("{:<18} {:>5.1}ms  {}", layer.name, compute * 1e3, line);
+        let cline = "~".repeat(cols(sc.transfer).max(1));
+        println!("{:<18} {:>5.1}ms  {}", layer.name, sv.compute * 1e3, line);
         println!("{:<18} {:>7}  {}", "", "cDMA:", cline);
     }
+
+    banner("Step totals across fidelity levels", "");
+    let rows = experiment::fidelity_rows_for(&spec, &profile, &engine, &table, 0.5, 42);
+    println!(
+        "{:<18} {:>10} {:>8} {:>12}",
+        "fidelity", "step", "stall", "events"
+    );
+    println!(
+        "vDNN (analytic)    {:>8.1}ms {:>7.1}% {:>12}",
+        vdnn.total() * 1e3,
+        vdnn.breakdown.stall_fraction() * 100.0,
+        vdnn.events_processed(),
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>8.1}ms {:>7.1}% {:>12}",
+            r.fidelity,
+            r.step_time * 1e3,
+            r.stall_fraction * 100.0,
+            r.events
+        );
+    }
+    let oracle = sim.simulate(&spec, &UniformRatio::new(&spec, TransferPolicy::Oracle));
+    println!(
+        "oracle             {:>8.1}ms {:>7.1}%",
+        oracle.total() * 1e3,
+        0.0
+    );
+
+    banner("Event log (first 16 events of the measured run)", "");
+    for e in cdma.events().iter().take(16) {
+        println!("{:>10.3} ms  {:?}", e.time * 1e3, e.kind);
+    }
+    println!(
+        "... {} log events, {} processed (line-granularity DMA pipeline events included)",
+        cdma.events().len(),
+        cdma.events_processed()
+    );
+
     println!("\n'#' compute, '!' stall where the uncompressed offload outlasts compute,");
-    println!("'~' the same transfer under cDMA-ZV (mostly hidden under '#').");
+    println!("'~' the same transfer as real compressed lines through the DMA pipeline");
+    println!("(mostly hidden under '#').");
 }

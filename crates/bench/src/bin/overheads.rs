@@ -2,8 +2,10 @@
 //! buffer sizing, and the resulting die fraction.
 
 use cdma_bench::{banner, render_table};
+use cdma_core::{measured, CdmaEngine};
 use cdma_gpusim::area::AreaModel;
-use cdma_gpusim::{SystemConfig, ZvcEngine};
+use cdma_gpusim::{OffloadSim, SystemConfig, ZvcEngine};
+use cdma_models::{profiles, zoo};
 
 fn main() {
     banner(
@@ -74,5 +76,40 @@ fn main() {
         engines,
         engine.aggregate_throughput(engines) / 1e9,
         cfg.comp_bw / 1e9
+    );
+
+    banner(
+        "Buffer sizing validated against a measured stream",
+        "real ZVC line sizes (SqueezeNet at the sparsity dip) through the event-stepped pipeline",
+    );
+    let spec = zoo::squeezenet();
+    let profile = profiles::density_profile(&spec);
+    let cdma = CdmaEngine::zvc(cfg);
+    let stream = measured::synthesized_stream(&cdma, &spec, &profile, 0.35, 7);
+    let mut rows = Vec::new();
+    for buffer_kb in [8usize, 32, 70, 256] {
+        let sized = SystemConfig {
+            dma_buffer: buffer_kb * 1024,
+            ..cfg
+        };
+        let r = OffloadSim::new(sized).run_line_iter(
+            (0..stream.layer_count()).flat_map(|i| stream.layer_lines(i).iter().copied()),
+        );
+        rows.push(vec![
+            format!("{buffer_kb} KB"),
+            format!("{:.1} KB", r.max_buffer_occupancy / 1024.0),
+            format!("{:.1} GB/s", r.effective_bw() / 1e9),
+            format!("{:.0}%", r.link_utilization() * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["DMA buffer", "peak occupancy", "effective bw", "link util"],
+            &rows
+        )
+    );
+    println!(
+        "(the paper's 70 KB design point is the knee: smaller buffers throttle the read\n stream under compression, larger ones buy nothing)"
     );
 }

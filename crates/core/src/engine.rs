@@ -1,6 +1,7 @@
 use cdma_compress::{windowed, Algorithm, Codec, CompressionStats, DecodeError};
-use cdma_gpusim::{OffloadSim, OffloadSimResult, SystemConfig, ZvcEngine};
+use cdma_gpusim::{OffloadSim, OffloadSimResult, SystemConfig};
 use cdma_tensor::Tensor;
+use cdma_vdnn::timeline::prefetch_seconds;
 
 /// The compressing DMA engine (Section V).
 ///
@@ -55,11 +56,29 @@ impl CompressedCopy {
         &self.stream
     }
 
+    /// Per-window `(uncompressed, compressed)` line sizes — the DMA
+    /// pipeline's native currency, and the payload of the timeline's
+    /// measured fidelity level
+    /// ([`cdma_vdnn::timeline::MeasuredStream`]).
+    pub fn lines(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        stream_lines(&self.stream)
+    }
+
     /// Consumes the copy and returns its stream so the buffers can be
     /// recycled via [`CdmaEngine::memcpy_compressed_reusing`].
     pub fn into_stream(self) -> windowed::WindowedStream {
         self.stream
     }
+}
+
+/// Per-window `(uncompressed, compressed)` line sizes of a stream — the
+/// one place the line-table encoding (f32 elements × 4 bytes per window)
+/// is spelled out.
+fn stream_lines(stream: &windowed::WindowedStream) -> impl Iterator<Item = (u32, u32)> + '_ {
+    stream
+        .window_sizes()
+        .enumerate()
+        .map(|(i, c)| ((stream.window_elements(i) * 4) as u32, c as u32))
 }
 
 impl CdmaEngine {
@@ -130,23 +149,13 @@ impl CdmaEngine {
     pub fn memcpy_compressed_reusing(
         &self,
         data: &[f32],
-        mut recycled: windowed::WindowedStream,
+        recycled: windowed::WindowedStream,
     ) -> CompressedCopy {
-        let codec = self.algorithm.codec();
-        if self.threads > 1 {
-            recycled.recompress_parallel(&codec, data, self.window_bytes, self.threads);
-        } else {
-            recycled.recompress(&codec, data, self.window_bytes);
-        }
-        let stream = recycled;
+        let stream = self.compress_windows(data, recycled);
         let stats = stream.stats();
         // Line table for the discrete-event pipeline, streamed straight off
         // the window-offset table — no per-offload size vector is built.
-        let lines = stream
-            .window_sizes()
-            .enumerate()
-            .map(|(i, c)| ((stream.window_elements(i) * 4) as u32, c as u32));
-        let transfer = OffloadSim::new(self.cfg).run_line_iter(lines);
+        let transfer = OffloadSim::new(self.cfg).run_line_iter(stream_lines(&stream));
         CompressedCopy {
             stream,
             algorithm: self.algorithm,
@@ -158,6 +167,33 @@ impl CdmaEngine {
     /// Offloads a tensor (its raw stream in its own layout).
     pub fn offload_tensor(&self, tensor: &Tensor) -> CompressedCopy {
         self.memcpy_compressed(tensor.as_slice())
+    }
+
+    /// Compresses `data` and returns only the byte accounting and the
+    /// per-window `(uncompressed, compressed)` line table, skipping the
+    /// transfer simulation — for callers that feed the lines into their own
+    /// pipeline or timeline (e.g. `cdma_core::measured` building a
+    /// [`cdma_vdnn::timeline::MeasuredStream`]) and would otherwise pay for
+    /// a discrete-event run whose timing they discard.
+    pub fn compress_lines(&self, data: &[f32]) -> (CompressionStats, Vec<(u32, u32)>) {
+        let stream = self.compress_windows(data, windowed::WindowedStream::default());
+        (stream.stats(), stream_lines(&stream).collect())
+    }
+
+    /// The one window-compression dispatch: recompresses `data` into
+    /// `recycled` (cleared first), in parallel when opted in.
+    fn compress_windows(
+        &self,
+        data: &[f32],
+        mut recycled: windowed::WindowedStream,
+    ) -> windowed::WindowedStream {
+        let codec = self.algorithm.codec();
+        if self.threads > 1 {
+            recycled.recompress_parallel(&codec, data, self.window_bytes, self.threads);
+        } else {
+            recycled.recompress(&codec, data, self.window_bytes);
+        }
+        recycled
     }
 
     /// The CPU→GPU prefetch direction: decompresses a copy back into
@@ -192,13 +228,15 @@ impl CdmaEngine {
 
     /// Estimated prefetch (CPU→GPU) time: the link moves the compressed
     /// bytes while the memory-controller engines decompress at their
-    /// aggregate throughput, whichever is slower.
+    /// aggregate throughput, whichever is slower. Delegates to the
+    /// timeline's [`prefetch_seconds`] — the single source of truth for the
+    /// CPU→GPU direction.
     pub fn prefetch_time(&self, copy: &CompressedCopy) -> f64 {
-        let link = copy.stats.compressed_bytes as f64 / self.cfg.pcie_bw;
-        let engines = ZvcEngine::new(self.cfg.engine_clock);
-        let decompress = copy.stats.uncompressed_bytes as f64
-            / engines.aggregate_throughput(self.cfg.mem_controllers);
-        link.max(decompress)
+        prefetch_seconds(
+            &self.cfg,
+            copy.stats.uncompressed_bytes,
+            copy.stats.compressed_bytes,
+        )
     }
 
     /// Speedup of this engine's offload over an uncompressed vDNN copy of
@@ -309,6 +347,16 @@ mod tests {
         let copy = engine.offload_tensor(&t);
         let back = engine.memcpy_decompressed(&copy).unwrap();
         assert_eq!(back, t.as_slice());
+    }
+
+    #[test]
+    fn compress_lines_matches_full_memcpy() {
+        let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+        let data = sparse_data(35, 40_000);
+        let copy = engine.memcpy_compressed(&data);
+        let (stats, lines) = engine.compress_lines(&data);
+        assert_eq!(stats, copy.stats);
+        assert_eq!(lines, copy.lines().collect::<Vec<_>>());
     }
 
     #[test]

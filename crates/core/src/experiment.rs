@@ -8,8 +8,12 @@ use cdma_models::profiles::{self, NetworkProfile};
 use cdma_models::{zoo, NetworkSpec};
 use cdma_sparsity::TRAINING_CHECKPOINTS;
 use cdma_tensor::Layout;
+use cdma_vdnn::timeline::{ProfiledDensity, StepTimeline, TimelineSim, UniformRatio};
 use cdma_vdnn::traffic::{self, NetworkTraffic};
 use cdma_vdnn::{ComputeModel, CudnnVersion, RatioTable, StepSim, TransferPolicy};
+
+use crate::measured;
+use crate::CdmaEngine;
 
 /// One bar group of Fig. 11: per network × layout × algorithm, the
 /// byte-weighted average and per-layer maximum compression ratio.
@@ -295,6 +299,87 @@ pub fn fig5_checkpoints() -> Vec<f64> {
     TRAINING_CHECKPOINTS.to_vec()
 }
 
+/// One row of the fidelity sweep: the same training step simulated through
+/// the event-driven timeline at one of its three fidelity levels.
+#[derive(Debug, Clone)]
+pub struct FidelityRow {
+    /// Network name.
+    pub network: String,
+    /// Transfer-source label (`uniform-ratio`, `profiled-density`,
+    /// `measured-stream`).
+    pub fidelity: &'static str,
+    /// Step latency, seconds.
+    pub step_time: f64,
+    /// Fraction of the step spent stalled on transfers.
+    pub stall_fraction: f64,
+    /// Events processed by the timeline (line-granularity at the measured
+    /// level).
+    pub events: u64,
+}
+
+impl FidelityRow {
+    fn from_timeline(network: &str, tl: &StepTimeline) -> Self {
+        FidelityRow {
+            network: network.to_owned(),
+            fidelity: tl.fidelity(),
+            step_time: tl.total(),
+            stall_fraction: tl.breakdown.stall_fraction(),
+            events: tl.events_processed(),
+        }
+    }
+}
+
+/// Simulates one network's training step at every fidelity level, at
+/// training checkpoint `t`:
+///
+/// 1. `uniform-ratio` — the network's training-averaged scalar ratio
+///    applied uniformly (the paper's coarsest analytic model);
+/// 2. `profiled-density` — per-layer ratios from the density trajectories
+///    sampled at `t`;
+/// 3. `measured-stream` — real ZVC line sizes of clustered activations
+///    generated at the profiled densities and compressed through `engine`.
+pub fn fidelity_rows_for(
+    spec: &NetworkSpec,
+    profile: &NetworkProfile,
+    engine: &CdmaEngine,
+    table: &RatioTable,
+    t: f64,
+    seed: u64,
+) -> Vec<FidelityRow> {
+    let sim = TimelineSim::new(engine.config(), ComputeModel::titan_x(CudnnVersion::V5));
+    let traffic = traffic::network_traffic(spec, profile, engine.algorithm(), Layout::Nchw, table);
+    let uniform = UniformRatio::uniform(spec, traffic.avg_ratio());
+    let profiled =
+        ProfiledDensity::at_checkpoint(spec, profile, t, engine.algorithm(), Layout::Nchw, table);
+    let stream = measured::synthesized_stream(engine, spec, profile, t, seed);
+    [
+        sim.simulate(spec, &uniform),
+        sim.simulate(spec, &profiled),
+        sim.simulate(spec, &stream),
+    ]
+    .iter()
+    .map(|tl| FidelityRow::from_timeline(spec.name(), tl))
+    .collect()
+}
+
+/// The full fidelity sweep: every zoo network × the three fidelity levels
+/// at training checkpoint `t` (the cross-validation behind the timeline's
+/// claim that analytic ratios approximate real compressed streams).
+pub fn fidelity_sweep(
+    cfg: SystemConfig,
+    table: &RatioTable,
+    t: f64,
+    seed: u64,
+) -> Vec<FidelityRow> {
+    let engine = CdmaEngine::zvc(cfg);
+    let mut rows = Vec::new();
+    for spec in zoo::all_networks() {
+        let profile = profiles::density_profile(&spec);
+        rows.extend(fidelity_rows_for(&spec, &profile, &engine, table, t, seed));
+    }
+    rows
+}
+
 /// End-to-end training-run projection: Table I's iteration counts priced
 /// with per-checkpoint step times, so the *evolving* sparsity (U-curve) is
 /// integrated over the whole run rather than averaged.
@@ -503,6 +588,33 @@ mod tests {
         // The U-curve integration beats the flat-average model slightly:
         // cDMA hours < vdnn_hours / avg-ratio-derived bound sanity.
         assert!(squeeze.cdma_speedup() > 1.3);
+    }
+
+    #[test]
+    fn fidelity_levels_agree_on_alexnet() {
+        let spec = zoo::alexnet();
+        let profile = profiles::density_profile(&spec);
+        let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+        let rows = fidelity_rows_for(&spec, &profile, &engine, &table(), 0.5, 11);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].fidelity, "uniform-ratio");
+        assert_eq!(rows[1].fidelity, "profiled-density");
+        assert_eq!(rows[2].fidelity, "measured-stream");
+        // All three levels model the same step: the times must agree to
+        // well within the vDNN-vs-oracle spread.
+        let base = rows[0].step_time;
+        for r in &rows {
+            assert!(r.step_time > 0.0 && r.stall_fraction < 1.0);
+            assert!(
+                (r.step_time - base).abs() / base < 0.30,
+                "{} step {} vs uniform {}",
+                r.fidelity,
+                r.step_time,
+                base
+            );
+        }
+        // The measured level simulates at line granularity.
+        assert!(rows[2].events > 100 * rows[0].events);
     }
 
     #[test]

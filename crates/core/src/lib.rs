@@ -11,9 +11,14 @@
 //!   call compresses in 4 KB windows with the real codec, simulates the
 //!   transfer through the discrete-event offload pipeline, and returns both
 //!   the payload and the timing.
+//! * [`measured`] — bridges real `cdma-dnn` training to the event-driven
+//!   timeline: captures a training step's actual layer outputs through the
+//!   engine (or synthesizes profiled activations at ImageNet scale) into a
+//!   [`cdma_vdnn::timeline::MeasuredStream`].
 //! * [`experiment`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation (consumed by the `cdma-bench` binaries and the
-//!   integration tests).
+//!   integration tests), including the fidelity sweep comparing the
+//!   timeline's three transfer sources.
 //!
 //! ```
 //! use cdma_core::CdmaEngine;
@@ -34,5 +39,6 @@
 
 mod engine;
 pub mod experiment;
+pub mod measured;
 
 pub use engine::{CdmaEngine, CompressedCopy};

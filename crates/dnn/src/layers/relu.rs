@@ -5,7 +5,7 @@ use crate::{Layer, LayerKind, Mode};
 /// Rectified linear unit: `y = max(x, 0)`.
 ///
 /// ReLU is the source of the activation sparsity the entire cDMA design
-/// exploits (Section III: "such sparsity of activations [is] originated by
+/// exploits (Section III: "such sparsity of activations \[is\] originated by
 /// the extensive use of ReLU layers"). Roughly half the pre-activations of a
 /// freshly-initialized layer are negative, so a new network starts near 50%
 /// density — exactly what Fig. 4 shows for conv0.

@@ -3,7 +3,7 @@ use cdma_tensor::{Layout, Tensor};
 /// Fused softmax + cross-entropy loss over class logits.
 ///
 /// This is the paper's "loss function ... defined to calculate the magnitude
-/// of [the] error between classification and ground truth, deriving the
+/// of \[the\] error between classification and ground truth, deriving the
 /// gradients of the loss function with respect to the final layer's output"
 /// (Section II-B). The backward pass produces the `dY` that backpropagation
 /// then pushes through the network right-to-left.

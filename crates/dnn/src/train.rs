@@ -119,8 +119,21 @@ impl Trainer {
     /// Runs one minibatch: forward, loss, backward, SGD step. Returns the
     /// minibatch loss.
     pub fn train_step(&mut self, images: &Tensor, labels: &[usize]) -> f64 {
+        self.train_step_probed(images, labels, &mut |_, _, _| {})
+    }
+
+    /// Like [`Trainer::train_step`], but invokes `probe(name, kind,
+    /// output)` on every layer output during the *training* forward pass —
+    /// the offload hook: a cDMA engine attached here sees exactly the
+    /// activation tensors vDNN would move to host memory during this step,
+    /// so real compressed streams (rather than assumed ratios) can drive
+    /// the transfer simulation.
+    pub fn train_step_probed<F>(&mut self, images: &Tensor, labels: &[usize], probe: &mut F) -> f64
+    where
+        F: FnMut(&str, LayerKind, &Tensor),
+    {
         self.net.zero_grads();
-        let logits = self.net.forward(images, Mode::Train);
+        let logits = self.net.forward_probed(images, Mode::Train, probe);
         let (loss, dlogits) = self.loss.loss_and_grad(&logits, labels);
         let _ = self.net.backward(&dlogits);
         self.sgd.step(self.net.params_mut());
@@ -191,6 +204,29 @@ mod tests {
         );
         let (_, acc) = trainer.evaluate(&x, &labels);
         assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probed_train_step_matches_plain_step() {
+        let x = Tensor::from_fn(Shape4::new(4, 1, 8, 8), Layout::Nchw, |n, _, h, w| {
+            ((n + h * w) % 5) as f32 / 5.0 - 0.4
+        });
+        let labels = vec![0, 1, 2, 0];
+        let mut plain = Trainer::new(tiny_net(11), Sgd::new(0.05, 0.9, 0.0));
+        let mut probed = Trainer::new(tiny_net(11), Sgd::new(0.05, 0.9, 0.0));
+        let mut seen = Vec::new();
+        for step in 0..5 {
+            let a = plain.train_step(&x, &labels);
+            seen.clear();
+            let b = probed.train_step_probed(&x, &labels, &mut |name, _, out| {
+                seen.push((name.to_owned(), out.len()));
+            });
+            assert_eq!(a, b, "step {step} diverged");
+        }
+        // The probe saw every layer output of the training forward pass.
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0].0, "conv0");
+        assert_eq!(seen[3].0, "fc");
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //! * [`ZvcEngine`] — the cycle model of Fig. 10's 3-stage, 32 B/cycle
 //!   compression pipeline (6 cycles per 128 B line) and its 2-cycle-latency
 //!   decompression counterpart;
-//! * [`OffloadSim`] — a discrete-event simulation of the offload path
-//!   (DRAM fetch → per-MC compression → crossbar → DMA buffer → PCIe),
-//!   reproducing the buffer-sizing and bandwidth-provisioning analysis of
-//!   Sections V-B/V-C;
+//! * [`DmaPipeline`] — an incremental, event-stepped simulation of the
+//!   offload path (DRAM fetch → per-MC compression → crossbar → DMA buffer
+//!   → PCIe): lines are pushed one at a time with a release time, so the
+//!   `cdma-vdnn` training-step timeline can interleave DMA traffic with
+//!   compute events. Reproduces the buffer-sizing and
+//!   bandwidth-provisioning analysis of Sections V-B/V-C;
+//! * [`OffloadSim`] — the batch wrapper: one whole transfer, run to
+//!   completion;
 //! * [`area`] — the FreePDK45-scaled engine area and CACTI-style buffer
 //!   area estimates (0.31 mm² + 0.21 mm² vs a 600 mm² die);
 //! * [`energy`] — the per-bit transfer-energy comparison of Section VII-C.
@@ -42,7 +46,7 @@ mod engine;
 pub mod pipeline;
 
 pub use config::{LinkKind, SystemConfig};
-pub use dma::{OffloadSim, OffloadSimResult};
+pub use dma::{DmaPipeline, LineSchedule, OffloadSim, OffloadSimResult, LINE_BYTES};
 pub use dram_store::CompressedDramStore;
 pub use engine::ZvcEngine;
 pub use pipeline::{ZvcCompressPipeline, ZvcDecompressPipeline};

@@ -8,6 +8,8 @@
 
 use cdma_dnn::{Conv2d, Dropout, FullyConnected, Parallel, Pool, PoolKind, Relu, Sequential};
 
+use crate::{NetworkSpec, PoolFlavor, SpecBuilder};
+
 /// A tiny AlexNet-style pyramid for `classes`-way classification of
 /// 1×16×16 images: two conv/ReLU/pool stages and an FC classifier with
 /// dropout.
@@ -25,6 +27,28 @@ pub fn tiny_alexnet(classes: usize, seed: u64) -> Sequential {
     net.push(FullyConnected::new("fc2", 32, classes, seed + 4));
     net
 }
+
+/// The [`NetworkSpec`] counterpart of [`tiny_alexnet`], at the paper's
+/// layer granularity (conv/fc layers carry their fused ReLU; dropout is
+/// shape-preserving and has no spec entry). Feeding a real training step's
+/// activations — captured per probe layer of [`TINY_ALEXNET_PROBES`] —
+/// into the `cdma-vdnn` timeline against this spec closes the loop between
+/// the `dnn` crate and the transfer simulation.
+pub fn tiny_alexnet_spec(classes: usize, batch: usize) -> NetworkSpec {
+    let mut b = SpecBuilder::new("tiny-alexnet", batch, (1, 16, 16));
+    b.conv("conv0", 8, 3, 1, 1, true)
+        .pool("pool0", PoolFlavor::Max, 2, 2) // 16 -> 8
+        .conv("conv1", 16, 3, 1, 1, true)
+        .pool("pool1", PoolFlavor::Max, 2, 2) // 8 -> 4
+        .fc("fc1", 32, true)
+        .fc("fc2", classes, false);
+    b.build()
+}
+
+/// For each layer of [`tiny_alexnet_spec`], in order: the [`tiny_alexnet`]
+/// layer whose output *is* that spec layer's activation map (post-ReLU for
+/// the fused conv/fc layers, pre-dropout for `fc1`).
+pub const TINY_ALEXNET_PROBES: [&str; 6] = ["relu0", "pool0", "relu1", "pool1", "relu_fc1", "fc2"];
 
 /// A tiny GoogLeNet-style network: a stem conv followed by an inception
 /// module (1×1 branch + 3×3 branch) and an FC classifier.
@@ -63,6 +87,30 @@ mod tests {
             net.output_shape(Shape4::new(2, 1, 16, 16)),
             Shape4::fc(2, 4)
         );
+    }
+
+    #[test]
+    fn tiny_alexnet_spec_mirrors_the_real_net() {
+        let spec = tiny_alexnet_spec(4, 2);
+        assert_eq!(spec.layers().len(), TINY_ALEXNET_PROBES.len());
+        let mut net = tiny_alexnet(4, 0);
+        let x = Tensor::full(Shape4::new(2, 1, 16, 16), Layout::Nchw, 0.3);
+        // Every probe layer's output shape matches the spec layer's
+        // activation accounting.
+        let mut seen = vec![None; spec.layers().len()];
+        let _ = net.forward_probed(&x, Mode::Eval, &mut |name, _, out| {
+            if let Some(i) = TINY_ALEXNET_PROBES.iter().position(|p| *p == name) {
+                seen[i] = Some(out.len());
+            }
+        });
+        for (layer, elems) in spec.layers().iter().zip(&seen) {
+            assert_eq!(
+                Some(layer.activation_elems(2) as usize),
+                *elems,
+                "{} shape mismatch",
+                layer.name
+            );
+        }
     }
 
     #[test]

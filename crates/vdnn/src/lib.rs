@@ -15,9 +15,14 @@
 //!   density) obtained by running the real codecs from `cdma-compress` on
 //!   clustered activations from `cdma-sparsity`;
 //! * [`traffic`] — offloaded-byte accounting per network (Fig. 11/12);
-//! * [`StepSim`] — the layer-by-layer forward/backward timeline with
-//!   overlap and stalls, including the paper's `COMP_BW` throttling model
-//!   (Fig. 3b and Fig. 13).
+//! * [`timeline`] — the event-driven training-step simulator: a shared
+//!   event queue over the GPU compute stream, the cDMA read path and the
+//!   PCIe link, fed by a [`TransferSource`] at one of three fidelity levels
+//!   ([`UniformRatio`] analytic ratios, [`ProfiledDensity`] trajectory
+//!   ratios, [`MeasuredStream`] real compressed line sizes);
+//! * [`StepSim`] — the legacy layer-by-layer forward/backward interface
+//!   (Fig. 3b and Fig. 13), now a thin wrapper over the timeline with the
+//!   [`UniformRatio`] source.
 //!
 //! ```
 //! use cdma_models::zoo;
@@ -41,8 +46,13 @@ pub mod memory;
 pub mod multi_gpu;
 mod ratio;
 mod schedule;
+pub mod timeline;
 pub mod traffic;
 
 pub use compute::{ComputeModel, CudnnVersion};
 pub use ratio::RatioTable;
 pub use schedule::{StepBreakdown, StepSim, TransferPolicy};
+pub use timeline::{
+    MeasuredStream, Payload, ProfiledDensity, StepTimeline, TimelineSim, TransferSource,
+    UniformRatio,
+};

@@ -1,6 +1,7 @@
 use cdma_gpusim::SystemConfig;
 use cdma_models::NetworkSpec;
 
+use crate::timeline::{TimelineSim, UniformRatio};
 use crate::ComputeModel;
 
 /// What travels over the CPU–GPU link during a training step.
@@ -62,6 +63,14 @@ impl StepBreakdown {
 /// Transfers move at the paper's analytically-throttled effective bandwidth
 /// ([`SystemConfig::effective_offload_bw`]): `PCIe × ratio`, capped by the
 /// provisioned compression read bandwidth `COMP_BW`.
+///
+/// `StepSim` is a thin wrapper over the event-driven
+/// [`TimelineSim`](crate::timeline::TimelineSim) with the
+/// [`UniformRatio`](crate::timeline::UniformRatio) source — the analytic
+/// fidelity level. Use the timeline directly for the event log, per-stage
+/// records, or the higher-fidelity
+/// [`ProfiledDensity`](crate::timeline::ProfiledDensity) /
+/// [`MeasuredStream`](crate::timeline::MeasuredStream) sources.
 #[derive(Debug, Clone, Copy)]
 pub struct StepSim {
     cfg: SystemConfig,
@@ -79,86 +88,19 @@ impl StepSim {
         self.cfg
     }
 
+    /// The equivalent event-driven simulator.
+    pub fn timeline(&self) -> TimelineSim {
+        TimelineSim::new(self.cfg, self.compute)
+    }
+
     /// Simulates one training step of `spec` under `policy`.
     ///
     /// # Panics
     ///
     /// Panics if a ratio vector's length does not match the layer count.
     pub fn step_time(&self, spec: &NetworkSpec, policy: TransferPolicy) -> StepBreakdown {
-        let batch = spec.batch();
-        let layers = spec.layers();
-        let (offload_all, ratios): (bool, Option<&[f64]>) = match &policy {
-            TransferPolicy::Oracle => (true, None),
-            TransferPolicy::OffloadAll(r) => (true, Some(r)),
-            TransferPolicy::OffloadConv(r) => (false, Some(r)),
-        };
-        if let Some(r) = ratios {
-            assert_eq!(
-                r.len(),
-                layers.len(),
-                "one compression ratio per layer required"
-            );
-        }
-
-        // Transfer time of layer i's output activations (0 when the policy
-        // does not offload them or under the oracle).
-        let transfer_time = |i: usize| -> f64 {
-            let Some(r) = ratios else { return 0.0 };
-            let layer = &layers[i];
-            if !offload_all && !layer.is_conv() {
-                return 0.0;
-            }
-            let bytes = layer.activation_bytes(batch) as f64;
-            bytes / self.cfg.effective_offload_bw(r[i])
-        };
-
-        // Forward: stage i computes layer i while offloading layer i-1's
-        // output (the input of layer i). The network input itself is also
-        // offloaded during stage 0; it is dense (ratio 1).
-        let mut forward = 0.0;
-        let mut forward_stall = 0.0;
-        for (i, layer) in layers.iter().enumerate() {
-            let compute = self.compute.forward_time(layer, batch);
-            let offload = if i == 0 {
-                if ratios.is_some() {
-                    let input_bytes = (spec.input().per_image() * batch * 4) as f64;
-                    input_bytes / self.cfg.effective_offload_bw(1.0)
-                } else {
-                    0.0
-                }
-            } else {
-                transfer_time(i - 1)
-            };
-            forward += compute.max(offload);
-            forward_stall += (offload - compute).max(0.0);
-        }
-        // The last layer's output feeds the loss directly; no offload.
-
-        // Backward: the deepest offloaded input must be prefetched before
-        // its backward stage can run; afterwards each stage i overlaps its
-        // compute with the prefetch for stage i-1.
-        let mut backward = 0.0;
-        let mut backward_stall = 0.0;
-        if !layers.is_empty() {
-            let serial_head = transfer_time(layers.len().saturating_sub(2));
-            backward += serial_head;
-            backward_stall += serial_head;
-            for (i, layer) in layers.iter().enumerate().rev() {
-                let compute = self.compute.backward_time(layer, batch);
-                // While computing layer i's backward, prefetch the input of
-                // layer i-1 (= output of layer i-2).
-                let prefetch = if i >= 2 { transfer_time(i - 2) } else { 0.0 };
-                backward += compute.max(prefetch);
-                backward_stall += (prefetch - compute).max(0.0);
-            }
-        }
-
-        StepBreakdown {
-            forward,
-            backward,
-            forward_stall,
-            backward_stall,
-        }
+        let source = UniformRatio::new(spec, policy);
+        self.timeline().simulate(spec, &source).breakdown
     }
 
     /// Performance of `policy` normalized to the oracle baseline (the

@@ -62,7 +62,7 @@ impl NetworkTraffic {
 ///
 /// Every layer output is offloaded once per step (the paper's
 /// memory-scalability policy). Each layer's compression ratio is evaluated
-/// at [`CHECKPOINTS`] training checkpoints from its density trajectory, via
+/// at `CHECKPOINTS` training checkpoints from its density trajectory, via
 /// the measured [`RatioTable`], and averaged; dense layers (no ReLU)
 /// compress at the table's dense-end ratio.
 pub fn network_traffic(

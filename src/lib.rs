@@ -11,8 +11,19 @@
 //! | [`dnn`] | `cdma-dnn` | from-scratch CPU training framework |
 //! | [`models`] | `cdma-models` | the six evaluated networks + density profiles |
 //! | [`gpusim`] | `cdma-gpusim` | memory-subsystem / engine / area / energy models |
-//! | [`vdnn`] | `cdma-vdnn` | offload/prefetch scheduling and compute model |
-//! | [`core`] | `cdma-core` | the cDMA engine + experiment drivers |
+//! | [`vdnn`] | `cdma-vdnn` | event-driven training-step timeline, offload/prefetch scheduling, compute model |
+//! | [`core`] | `cdma-core` | the cDMA engine + measured-stream capture + experiment drivers |
+//!
+//! # The training-step timeline
+//!
+//! One event-driven simulator ([`vdnn::timeline::TimelineSim`]) models the
+//! paper's training step at three fidelity levels, selected by the
+//! [`vdnn::timeline::TransferSource`] implementation:
+//! [`vdnn::timeline::UniformRatio`] (the analytic model; `StepSim` wraps
+//! it), [`vdnn::timeline::ProfiledDensity`] (ratios from density
+//! trajectories), and [`vdnn::timeline::MeasuredStream`] (real per-window
+//! line sizes — capture one from a live training step with
+//! [`core::measured::capture_training_step`]).
 //!
 //! # The streaming compression API
 //!
