@@ -1,0 +1,113 @@
+//! Parallel-vs-sequential sweep wall time through the scenario `Runner`.
+//!
+//! Two workloads:
+//!
+//! * the **full paper grid** (6 networks × 3 layouts × 3 algorithms),
+//!   where every cell runs the real windowed codec on a representative
+//!   clustered activation tensor at the cell's mid-training density —
+//!   the measurable work behind Fig. 11;
+//! * the **measured fidelity sweep** (every network through the
+//!   line-granularity event timeline, streams pre-synthesized into the
+//!   shared context), where the parallel win is pure simulation fan-out.
+//!
+//! Each configuration is timed three times; the median is reported along
+//! with the speedup over the sequential run.
+
+use std::time::Instant;
+
+use cdma_bench::micro;
+use cdma_compress::windowed;
+use cdma_core::experiment::fidelity_row;
+use cdma_core::scenario::{Context, Runner, Scenario, ScenarioSet};
+use cdma_sparsity::ActivationGen;
+use cdma_tensor::Shape4;
+use cdma_vdnn::Fidelity;
+
+/// Median-of-3 wall time of `f`, in seconds.
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+fn report(label: &str, secs: f64, sequential: f64) {
+    println!(
+        "{label:<44} {:>10.1} ms   speedup {:>5.2}x",
+        secs * 1e3,
+        sequential / secs
+    );
+}
+
+fn main() {
+    let ctx = Context::fast();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = cores.clamp(2, 8);
+    println!("{cores} core(s) available; parallel speedup requires a multi-core host");
+
+    micro::group("full paper grid: real windowed compression per cell");
+    let grid = ScenarioSet::paper_grid();
+    // Pre-warm the profiles/table so the timed region is the per-cell
+    // codec work itself.
+    for s in &grid {
+        let _ = ctx.profile(&s.network);
+    }
+    let cell = |s: &Scenario| {
+        let density = ctx.profile(&s.network).network_density_at(s.checkpoint);
+        let mut gen = ActivationGen::seeded(s.seed);
+        let t = gen.generate(Shape4::new(4, 48, 27, 27), s.layout, density);
+        let codec = s.algorithm.codec();
+        windowed::compress_stats(&codec, t.as_slice(), windowed::DEFAULT_WINDOW_BYTES).ratio()
+    };
+    let seq = median_secs(|| {
+        let ratios = Runner::sequential().run(&grid, cell);
+        assert_eq!(ratios.len(), grid.len());
+    });
+    report("paper grid (54 cells), sequential", seq, seq);
+    let par = median_secs(|| {
+        let ratios = Runner::with_jobs(jobs).run(&grid, cell);
+        assert_eq!(ratios.len(), grid.len());
+    });
+    report(&format!("paper grid (54 cells), {jobs} jobs"), par, seq);
+
+    micro::group("measured fidelity sweep: line-granularity timeline per network");
+    let sweep = ScenarioSet::builder()
+        .fidelities([Fidelity::MeasuredStream])
+        .build();
+    // Synthesize + compress every stream once; the timed region is the
+    // event-driven simulation fan-out.
+    for s in &sweep {
+        let _ = ctx.measured_stream(s);
+    }
+    let seq = median_secs(|| {
+        let rows = Runner::sequential().run(&sweep, |s| fidelity_row(&ctx, s));
+        assert_eq!(rows.len(), sweep.len());
+    });
+    report("measured sweep (6 networks), sequential", seq, seq);
+    let par = median_secs(|| {
+        let rows = Runner::with_jobs(jobs).run(&sweep, |s| fidelity_row(&ctx, s));
+        assert_eq!(rows.len(), sweep.len());
+    });
+    report(
+        &format!("measured sweep (6 networks), {jobs} jobs"),
+        par,
+        seq,
+    );
+    // Byte-determinism across job counts: the runner reassembles results
+    // in scenario order, so the parallel sweep must equal the sequential
+    // one exactly.
+    let a = Runner::sequential().run(&sweep, |s| fidelity_row(&ctx, s));
+    let b = Runner::with_jobs(jobs).run(&sweep, |s| fidelity_row(&ctx, s));
+    assert!(a
+        .iter()
+        .zip(&b)
+        .all(|(x, y)| x.step_time.to_bits() == y.step_time.to_bits() && x.events == y.events));
+    println!("parallel results identical to sequential (bit-for-bit)");
+}

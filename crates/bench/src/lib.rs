@@ -1,102 +1,19 @@
-//! # cdma-bench — experiment binaries and Criterion benches
+//! # cdma-bench — the experiment CLI and micro-benchmarks
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §4 for the
-//! index), plus shared table-formatting helpers. Run them with e.g.:
+//! The `cdma-bench` binary regenerates every table and figure of the
+//! paper through the declarative scenario API in `cdma-core` (see the
+//! experiment catalogue there):
 //!
 //! ```text
-//! cargo run -p cdma-bench --release --bin fig11
-//! cargo run -p cdma-bench --release --bin all_experiments
+//! cargo run -p cdma-bench --release -- list
+//! cargo run -p cdma-bench --release -- experiments fig11
+//! cargo run -p cdma-bench --release -- experiments all --format json --jobs 4
 //! ```
+//!
+//! [`cli`] parses the command line; [`micro`] is the offline stand-in for
+//! criterion used by the `benches/` targets.
 
 #![deny(missing_docs)]
 
-use std::fmt::Write as _;
-
+pub mod cli;
 pub mod micro;
-
-/// Renders an aligned text table.
-///
-/// ```
-/// let s = cdma_bench::render_table(
-///     &["net", "ratio"],
-///     &[vec!["AlexNet".into(), "1.87".into()]],
-/// );
-/// assert!(s.contains("AlexNet"));
-/// ```
-pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let mut out = String::new();
-    let mut line = String::new();
-    for (h, w) in headers.iter().zip(&widths) {
-        let _ = write!(line, "{h:<w$}  ");
-    }
-    out.push_str(line.trim_end());
-    out.push('\n');
-    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
-    out.push_str(&"-".repeat(total.saturating_sub(2)));
-    out.push('\n');
-    for row in rows {
-        let mut line = String::new();
-        for (cell, w) in row.iter().zip(&widths) {
-            let _ = write!(line, "{cell:<w$}  ");
-        }
-        out.push_str(line.trim_end());
-        out.push('\n');
-    }
-    out
-}
-
-/// Prints a figure/table banner.
-pub fn banner(title: &str, paper_note: &str) {
-    println!("\n=== {title} ===");
-    if !paper_note.is_empty() {
-        println!("paper: {paper_note}");
-    }
-    println!();
-}
-
-/// Formats a float with 2 decimals.
-pub fn f2(v: f64) -> String {
-    format!("{v:.2}")
-}
-
-/// Formats a float with 3 decimals.
-pub fn f3(v: f64) -> String {
-    format!("{v:.3}")
-}
-
-/// Formats a percentage with 1 decimal.
-pub fn pct(v: f64) -> String {
-    format!("{:.1}%", v * 100.0)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table_aligns_columns() {
-        let s = render_table(
-            &["a", "bbbb"],
-            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
-        );
-        let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].starts_with("a   bbbb"));
-        assert!(lines[2].starts_with("xx"));
-    }
-
-    #[test]
-    fn formatters() {
-        assert_eq!(f2(1.234), "1.23");
-        assert_eq!(f3(1.2345), "1.234"); // rounds-to-even banker's style not used; plain format
-        assert_eq!(pct(0.316), "31.6%");
-    }
-}

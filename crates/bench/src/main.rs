@@ -1,0 +1,119 @@
+//! The `cdma-bench` CLI: one entry point regenerating every table and
+//! figure of the paper through the declarative scenario API. Replaces the
+//! 18 one-binary-per-figure targets (and `all_experiments`' subprocess
+//! launcher — `all` now runs in-process through the shared
+//! [`Context`]/[`Runner`], so intermediates are computed once and sweeps
+//! fan out over `--jobs` threads).
+
+use std::fs;
+use std::process::ExitCode;
+
+use cdma_bench::cli::{self, Cli, Command};
+use cdma_core::experiment;
+use cdma_core::report::{self, Format};
+use cdma_core::scenario::{Context, Runner, ScenarioFilter};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    match &cli.command {
+        Command::List => {
+            for e in experiment::CATALOGUE {
+                println!("{:<16} {}", e.name, e.title);
+            }
+            Ok(())
+        }
+        Command::Experiments { name } => run_experiments(name.clone(), &cli),
+    }
+}
+
+fn run_experiments(name: String, cli: &Cli) -> Result<(), String> {
+    let names: Vec<&'static str> = if name == "all" {
+        experiment::names()
+    } else {
+        let known = experiment::CATALOGUE
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown experiment {name:?}; available: all, {}",
+                    experiment::names().join(", ")
+                )
+            })?;
+        vec![known.name]
+    };
+    let filter = ScenarioFilter::parse(&cli.filters)?;
+    let ctx = if cli.fast {
+        Context::fast()
+    } else {
+        Context::new()
+    };
+    let runner = match cli.jobs {
+        Some(jobs) => Runner::with_jobs(jobs),
+        None => Runner::new(),
+    };
+    if let Some(dir) = &cli.out {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+
+    let mut json_objects = Vec::new();
+    for n in &names {
+        eprintln!("[cdma-bench] running {n} ({} jobs)", runner.jobs());
+        let report =
+            experiment::run(n, &ctx, &runner, &filter).expect("catalogue names always dispatch");
+        match &cli.out {
+            Some(dir) => {
+                let path = dir.join(format!("{n}.{}", cli.format.extension()));
+                fs::write(&path, report::render(report.as_ref(), cli.format))
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                let artifacts = report.artifacts();
+                if !artifacts.is_empty() {
+                    let adir = dir.join(n);
+                    fs::create_dir_all(&adir)
+                        .map_err(|e| format!("cannot create {}: {e}", adir.display()))?;
+                    for artifact in artifacts {
+                        let apath = adir.join(&artifact.name);
+                        fs::write(&apath, &artifact.bytes)
+                            .map_err(|e| format!("cannot write {}: {e}", apath.display()))?;
+                    }
+                }
+            }
+            None => match cli.format {
+                // JSON accumulates so `all` prints one valid array.
+                Format::Json => json_objects.push(report::render_json(report.as_ref())),
+                f => println!("{}", report::render(report.as_ref(), f)),
+            },
+        }
+    }
+    if cli.out.is_none() && cli.format == Format::Json {
+        if names.len() == 1 {
+            println!("{}", json_objects[0]);
+        } else {
+            println!("[{}]", json_objects.join(",\n"));
+        }
+    }
+    let stats = ctx.stats();
+    eprintln!(
+        "[cdma-bench] done: {} experiment(s); context cache: {} hits, {} misses",
+        names.len(),
+        stats.hits,
+        stats.misses
+    );
+    Ok(())
+}

@@ -40,5 +40,9 @@
 mod engine;
 pub mod experiment;
 pub mod measured;
+pub mod report;
+pub mod scenario;
 
 pub use engine::{CdmaEngine, CompressedCopy};
+pub use report::Report;
+pub use scenario::{Context, Runner, Scenario, ScenarioFilter, ScenarioSet};

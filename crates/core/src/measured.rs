@@ -89,10 +89,13 @@ pub fn capture_training_step(
 }
 
 /// Synthesizes a measured stream for an ImageNet-scale [`NetworkSpec`] at
-/// training checkpoint `t`: per layer, one image's clustered activations at
-/// the profiled density are compressed through `engine` and the per-image
-/// line table is replicated across the minibatch (see the module docs for
-/// the fidelity caveat). The input is generated dense.
+/// training checkpoint `t`, with activations laid out NCHW (ZVC is
+/// layout-insensitive; use [`synthesized_stream_with_layout`] when
+/// sweeping layout-sensitive codecs): per layer, one image's clustered
+/// activations at the profiled density are compressed through `engine`
+/// and the per-image line table is replicated across the minibatch (see
+/// the module docs for the fidelity caveat). The input is generated
+/// dense.
 ///
 /// # Panics
 ///
@@ -101,6 +104,24 @@ pub fn synthesized_stream(
     engine: &CdmaEngine,
     spec: &NetworkSpec,
     profile: &NetworkProfile,
+    t: f64,
+    seed: u64,
+) -> MeasuredStream {
+    synthesized_stream_with_layout(engine, spec, profile, Layout::Nchw, t, seed)
+}
+
+/// [`synthesized_stream`] with an explicit activation memory layout — the
+/// layout the clustered activations are generated in, which is what
+/// layout-sensitive codecs (RLE, zlib) see on the wire.
+///
+/// # Panics
+///
+/// Panics if `profile` does not cover every layer of `spec`.
+pub fn synthesized_stream_with_layout(
+    engine: &CdmaEngine,
+    spec: &NetworkSpec,
+    profile: &NetworkProfile,
+    layout: Layout,
     t: f64,
     seed: u64,
 ) -> MeasuredStream {
@@ -115,7 +136,7 @@ pub fn synthesized_stream(
         lines
     };
 
-    let input = replicate(&gen.generate(spec.input(), Layout::Nchw, 1.0));
+    let input = replicate(&gen.generate(spec.input(), layout, 1.0));
     let layers = spec
         .layers()
         .iter()
@@ -125,7 +146,7 @@ pub fn synthesized_stream(
                 .unwrap_or_else(|| panic!("profile missing layer {}", layer.name))
                 .density_at(t);
             let shape = Shape4::new(1, layer.out.c, layer.out.h, layer.out.w);
-            replicate(&gen.generate(shape, Layout::Nchw, density))
+            replicate(&gen.generate(shape, layout, density))
         })
         .collect();
     MeasuredStream::new(input, layers)

@@ -53,6 +53,6 @@ pub use compute::{ComputeModel, CudnnVersion};
 pub use ratio::RatioTable;
 pub use schedule::{StepBreakdown, StepSim, TransferPolicy};
 pub use timeline::{
-    MeasuredStream, Payload, ProfiledDensity, StepTimeline, TimelineSim, TransferSource,
-    UniformRatio,
+    Fidelity, FidelitySource, MeasuredStream, Payload, ProfiledDensity, StepTimeline, TimelineSim,
+    TransferSource, UniformRatio,
 };

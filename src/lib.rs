@@ -12,17 +12,55 @@
 //! | [`models`] | `cdma-models` | the six evaluated networks + density profiles |
 //! | [`gpusim`] | `cdma-gpusim` | memory-subsystem / engine / area / energy models |
 //! | [`vdnn`] | `cdma-vdnn` | event-driven training-step timeline, offload/prefetch scheduling, compute model |
-//! | [`core`] | `cdma-core` | the cDMA engine + measured-stream capture + experiment drivers |
+//! | [`core`] | `cdma-core` | the cDMA engine + the declarative scenario/experiment API |
+//!
+//! # The declarative scenario API
+//!
+//! The paper's evaluation is a grid — network × layout × algorithm ×
+//! timeline fidelity × platform. One cell of that grid is a
+//! [`core::scenario::Scenario`] value; [`core::scenario::ScenarioSet`]
+//! builds cartesian sweeps (with [`core::scenario::ScenarioSet::paper_grid`]
+//! as the canonical Fig. 11 grid); a [`core::scenario::Context`] memoizes
+//! the expensive shared inputs (density profiles, the measured
+//! `RatioTable`, synthesized measured streams); and a
+//! [`core::scenario::Runner`] fans scenario sets out over scoped threads
+//! with order-preserving (byte-deterministic) results.
+//!
+//! Every experiment driver in [`core::experiment`] consumes scenarios and
+//! returns a typed value implementing [`core::report::Report`], renderable
+//! as aligned text, CSV, or hand-rolled escape-correct JSON:
+//!
+//! ```
+//! use cdma::core::experiment;
+//! use cdma::core::report::{render, Format};
+//! use cdma::core::scenario::{Context, Runner, ScenarioFilter};
+//!
+//! let ctx = Context::fast(); // coarse ratio table; Context::new() for full
+//! let filter = ScenarioFilter::all().network("AlexNet");
+//! let report = experiment::run("fig11", &ctx, &Runner::with_jobs(2), &filter)
+//!     .expect("fig11 is in the catalogue");
+//! let json = render(report.as_ref(), Format::Json);
+//! assert!(json.starts_with("{\"experiment\":\"fig11\""));
+//! ```
+//!
+//! The `cdma-bench` CLI is a thin shell over this API — one binary
+//! regenerates every paper table/figure:
+//!
+//! ```bash
+//! cargo run -p cdma-bench --release -- experiments all --format json --jobs 4
+//! ```
 //!
 //! # The training-step timeline
 //!
 //! One event-driven simulator ([`vdnn::timeline::TimelineSim`]) models the
-//! paper's training step at three fidelity levels, selected by the
-//! [`vdnn::timeline::TransferSource`] implementation:
-//! [`vdnn::timeline::UniformRatio`] (the analytic model; `StepSim` wraps
-//! it), [`vdnn::timeline::ProfiledDensity`] (ratios from density
-//! trajectories), and [`vdnn::timeline::MeasuredStream`] (real per-window
-//! line sizes — capture one from a live training step with
+//! paper's training step at three fidelity levels. The level is a value —
+//! [`vdnn::timeline::Fidelity`] — and
+//! [`core::scenario::Context::transfer_source`] turns it into the matching
+//! [`vdnn::timeline::TransferSource`]: [`vdnn::timeline::UniformRatio`]
+//! (the analytic model; `StepSim` wraps it),
+//! [`vdnn::timeline::ProfiledDensity`] (ratios from density trajectories),
+//! and [`vdnn::timeline::MeasuredStream`] (real per-window line sizes —
+//! capture one from a live training step with
 //! [`core::measured::capture_training_step`]).
 //!
 //! # The streaming compression API
