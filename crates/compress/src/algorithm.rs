@@ -137,6 +137,23 @@ pub trait Compressor {
 /// [`Algorithm::codec`] to obtain one. The boxed form
 /// ([`Algorithm::boxed`]) remains available for code that genuinely needs a
 /// trait object.
+///
+/// ```
+/// use cdma_compress::{Algorithm, Codec, Compressor};
+///
+/// // Pick the codec at runtime, dispatch statically per call.
+/// let codec: Codec = Algorithm::Zvc.codec();
+/// assert_eq!(codec.algorithm(), Algorithm::Zvc);
+///
+/// let activations = [0.0f32, 0.0, 1.5, 0.0, -2.5, 0.0, 0.0, 0.0];
+/// let mut wire = Vec::new();
+/// codec.compress_into(&activations, &mut wire);
+/// assert_eq!(wire.len(), 4 + 2 * 4); // one mask + two non-zero words
+///
+/// let mut back = Vec::new();
+/// codec.decompress_into(&wire, activations.len(), &mut back).unwrap();
+/// assert_eq!(back, activations);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Codec {
     /// Run-length encoding.

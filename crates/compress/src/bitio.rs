@@ -25,16 +25,32 @@ impl BitWriter {
     }
 
     /// Writes the low `count` bits of `value`, most significant first.
+    ///
+    /// Emits up to a byte at a time (rather than one bit per iteration), so
+    /// wide fields — LZ77 distances, Huffman code words — cost one or two
+    /// shifts instead of a per-bit loop.
     pub(crate) fn write_bits(&mut self, value: u32, count: u8) {
         debug_assert!(count <= 32);
-        for i in (0..count).rev() {
-            let bit = (value >> i) & 1;
+        // Only the low `count` bits participate; high garbage is ignored.
+        let value = if count == 32 {
+            value as u64
+        } else {
+            (value as u64) & ((1u64 << count) - 1)
+        };
+        let mut remaining = count;
+        while remaining > 0 {
             if self.used == 0 {
                 self.bytes.push(0);
             }
+            let free = 8 - self.used;
+            let take = remaining.min(free);
+            // The top `take` of the remaining bits land MSB-first in the
+            // current byte's free span.
+            let chunk = ((value >> (remaining - take)) & ((1u64 << take) - 1)) as u8;
             let last = self.bytes.len() - 1;
-            self.bytes[last] |= (bit as u8) << (7 - self.used);
-            self.used = (self.used + 1) % 8;
+            self.bytes[last] |= chunk << (free - take);
+            self.used = (self.used + take) % 8;
+            remaining -= take;
         }
     }
 
@@ -75,10 +91,21 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `count` bits MSB-first; `None` if the stream is exhausted.
+    ///
+    /// Byte-chunked like [`BitWriter::write_bits`]: consumes up to a whole
+    /// byte per iteration instead of one bit.
     pub(crate) fn read_bits(&mut self, count: u8) -> Option<u32> {
+        debug_assert!(count <= 32);
         let mut v = 0u32;
-        for _ in 0..count {
-            v = (v << 1) | self.read_bit()?;
+        let mut remaining = count;
+        while remaining > 0 {
+            let byte = *self.bytes.get(self.pos / 8)?;
+            let avail = 8 - (self.pos % 8) as u8;
+            let take = remaining.min(avail);
+            let chunk = (byte >> (avail - take)) & (((1u16 << take) - 1) as u8);
+            v = (v << take) | u32::from(chunk);
+            self.pos += take as usize;
+            remaining -= take;
         }
         Some(v)
     }

@@ -9,7 +9,10 @@ use std::ops::Add;
 /// bandwidth cDMA must provision) and the **average network-wide** ratio
 /// *weighted by offloaded bytes* (which sets the PCIe traffic reduction).
 /// `CompressionStats` values add up, so summing per-layer stats yields the
-/// correctly-weighted network aggregate.
+/// correctly-weighted network aggregate. (Ratios describe *bytes saved*,
+/// not time: ZVC's ratio depends only on density, while its *throughput*
+/// is density-sensitive — the streaming benchmark's density sweep reports
+/// the GB/s side of the story.)
 ///
 /// ```
 /// use cdma_compress::CompressionStats;

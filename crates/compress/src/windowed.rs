@@ -16,6 +16,12 @@
 //! per 4 KB window. Per-window views ([`WindowedStream::window`],
 //! [`WindowedStream::window_sizes`]) borrow from that buffer; nothing is
 //! cloned on query.
+//!
+//! Window payloads are produced by [`Compressor::compress_append`]
+//! straight into the contiguous buffer, so ZVC windows go through the
+//! word-at-a-time kernels (see [`crate::Zvc`]) with no per-window
+//! allocation — sequentially, or fanned out over scoped threads by
+//! [`WindowedStream::compress_parallel`] with bit-identical output.
 
 use crate::{CompressionStats, Compressor, DecodeError};
 

@@ -20,6 +20,19 @@ pub const ZVC_WINDOW_ELEMS: usize = 32;
 /// The final window of a stream may cover fewer than 32 words; its mask is
 /// still 4 bytes with the unused high bits zero.
 ///
+/// # Word-at-a-time kernels
+///
+/// The mask+payload format was chosen by the paper precisely because it maps
+/// to wide, branch-free hardware (Fig. 8), and the software kernels mirror
+/// that: each window's mask is computed by zero-testing the raw `u32` bit
+/// patterns and folding the comparisons into the mask with shifts (no
+/// per-element branch), and payloads move as whole contiguous non-zero
+/// *runs* — derived from `trailing_zeros`/`trailing_ones` scans of the mask
+/// — via bulk byte copies rather than one branch per element. Decompression
+/// run-decodes the same way, so dense and sparse windows both avoid
+/// per-bit branching. The streams are byte-identical to the scalar
+/// reference decoder/encoder kept as a test oracle.
+///
 /// ```
 /// use cdma_compress::{Compressor, Zvc};
 /// let zvc = Zvc::new();
@@ -28,9 +41,199 @@ pub const ZVC_WINDOW_ELEMS: usize = 32;
 /// // 32 non-zeros cost mask + payload.
 /// assert_eq!(zvc.compress(&[1.0; 32]).len(), 4 + 32 * 4);
 /// ```
+///
+/// The streaming entry points append to caller-owned buffers, so a training
+/// loop compresses every layer with zero steady-state allocation:
+///
+/// ```
+/// use cdma_compress::{Compressor, Zvc};
+/// let zvc = Zvc::new();
+/// let layer: Vec<f32> = (0..96).map(|i| if i % 3 == 0 { i as f32 } else { 0.0 }).collect();
+///
+/// let mut stream = Vec::new();
+/// zvc.compress_append(&layer, &mut stream); // window 0..: appended in place
+/// let mut back = Vec::new();
+/// zvc.decompress_append(&stream, layer.len(), &mut back).unwrap();
+/// assert_eq!(back, layer);
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Zvc {
     _private: (),
+}
+
+/// Reinterprets activation words as their raw `u32` bit patterns.
+///
+/// SAFETY rationale: `f32` and `u32` have identical size (4) and alignment
+/// (4), and every bit pattern is a valid `u32`, so the cast view is sound.
+/// Zero-testing the bit pattern (rather than `== 0.0`) is what makes the
+/// codec bit-exact: `-0.0`, denormals and NaN payloads are all "non-zero".
+#[inline]
+fn window_bits(chunk: &[f32]) -> &[u32] {
+    unsafe { core::slice::from_raw_parts(chunk.as_ptr().cast::<u32>(), chunk.len()) }
+}
+
+/// Folds the per-word zero comparisons of one window into its presence
+/// mask with shifts — branch-free, and chunked eight lanes at a time so
+/// the fixed-length inner fold compiles to a wide compare + move-mask
+/// instead of a data-dependent loop.
+#[inline]
+fn window_mask(chunk: &[f32]) -> u32 {
+    let bits = window_bits(chunk);
+    let mut mask = 0u32;
+    let mut lanes = bits.chunks_exact(8);
+    let mut base = 0u32;
+    for ch in lanes.by_ref() {
+        let mut m8 = 0u32;
+        for (i, w) in ch.iter().enumerate() {
+            m8 |= u32::from(*w != 0) << i;
+        }
+        mask |= m8 << base;
+        base += 8;
+    }
+    for (i, w) in lanes.remainder().iter().enumerate() {
+        mask |= u32::from(*w != 0) << (base + i as u32);
+    }
+    mask
+}
+
+/// Compresses the whole stream into `out`'s reserved spare capacity with a
+/// raw write cursor: the mask and each contiguous non-zero run (found by
+/// `trailing_zeros`/`trailing_ones` scans) land as straight `memcpy`s, with
+/// no per-run length bookkeeping — one `set_len` publishes the stream.
+#[cfg(target_endian = "little")]
+fn compress_append_runs(data: &[f32], out: &mut Vec<u8>) {
+    // SAFETY: the caller reserved the worst-case output size, so every
+    // write below lands in spare capacity; `dst` only ever advances past
+    // bytes just written; on a little-endian target the in-memory bytes of
+    // an `f32` are exactly its wire encoding (`to_le_bytes`); `set_len`
+    // publishes exactly the bytes written.
+    unsafe {
+        let base = out.len();
+        debug_assert!(
+            out.capacity() - base >= data.len() * 4 + data.len().div_ceil(ZVC_WINDOW_ELEMS) * 4
+        );
+        let start_ptr = out.as_mut_ptr().add(base);
+        let mut dst = start_ptr;
+        for chunk in data.chunks(ZVC_WINDOW_ELEMS) {
+            let mask = window_mask(chunk);
+            core::ptr::copy_nonoverlapping(mask.to_le_bytes().as_ptr(), dst, 4);
+            dst = dst.add(4);
+            let src = chunk.as_ptr().cast::<u8>();
+            if mask.count_ones() as usize == chunk.len() {
+                // Dense window: one straight copy.
+                core::ptr::copy_nonoverlapping(src, dst, chunk.len() * 4);
+                dst = dst.add(chunk.len() * 4);
+            } else {
+                let mut m = mask;
+                while m != 0 {
+                    let run_start = m.trailing_zeros() as usize;
+                    let run = (m >> run_start).trailing_ones() as usize;
+                    core::ptr::copy_nonoverlapping(src.add(run_start * 4), dst, run * 4);
+                    dst = dst.add(run * 4);
+                    let end = run_start + run;
+                    m = if end >= 32 { 0 } else { m & (u32::MAX << end) };
+                }
+            }
+        }
+        out.set_len(base + usize::try_from(dst.offset_from(start_ptr)).unwrap());
+    }
+}
+
+/// Big-endian fallback: the same branch-free run scan through safe
+/// appends, with per-word little-endian serialization (the wire format is
+/// LE regardless of host).
+#[cfg(not(target_endian = "little"))]
+fn compress_append_runs(data: &[f32], out: &mut Vec<u8>) {
+    for chunk in data.chunks(ZVC_WINDOW_ELEMS) {
+        let mask = window_mask(chunk);
+        out.extend_from_slice(&mask.to_le_bytes());
+        let mut m = mask;
+        while m != 0 {
+            let start = m.trailing_zeros() as usize;
+            let run = (m >> start).trailing_ones() as usize;
+            for v in &chunk[start..start + run] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            let end = start + run;
+            m = if end >= 32 { 0 } else { m & (u32::MAX << end) };
+        }
+    }
+}
+
+/// Run-decodes one window: zero gaps become bulk `memset` fills, non-zero
+/// runs become bulk word copies — no per-bit branch on either side.
+///
+/// The caller must have reserved at least `window` elements of spare
+/// capacity in `out` (the decoder reserves `element_count` up front).
+#[cfg(target_endian = "little")]
+#[inline]
+fn decode_window(mask: u32, window: usize, payload: &[u8], out: &mut Vec<f32>) {
+    debug_assert!(payload.len() == mask.count_ones() as usize * 4);
+    debug_assert!(out.capacity() - out.len() >= window);
+    // SAFETY: the reservation above guarantees `window` elements of spare
+    // capacity; every byte of that span is written exactly once (gaps by
+    // `write_bytes`, runs by `copy_nonoverlapping`) before `set_len`
+    // publishes it; all-zero bytes are a valid `f32` (0.0), and on a
+    // little-endian target the wire bytes are the in-memory representation.
+    unsafe {
+        let dst = out.as_mut_ptr().add(out.len()).cast::<u8>();
+        if mask == 0 {
+            core::ptr::write_bytes(dst, 0, window * 4);
+        } else if mask.count_ones() as usize == window {
+            core::ptr::copy_nonoverlapping(payload.as_ptr(), dst, window * 4);
+        } else {
+            let mut m = mask;
+            let mut next = 0usize; // next element index within the window
+            let mut taken = 0usize; // payload bytes consumed
+            while m != 0 {
+                let start = m.trailing_zeros() as usize;
+                core::ptr::write_bytes(dst.add(next * 4), 0, (start - next) * 4);
+                let run = (m >> start).trailing_ones() as usize;
+                core::ptr::copy_nonoverlapping(
+                    payload.as_ptr().add(taken),
+                    dst.add(start * 4),
+                    run * 4,
+                );
+                taken += run * 4;
+                next = start + run;
+                m = if next >= 32 {
+                    0
+                } else {
+                    m & (u32::MAX << next)
+                };
+            }
+            core::ptr::write_bytes(dst.add(next * 4), 0, (window - next) * 4);
+        }
+        out.set_len(out.len() + window);
+    }
+}
+
+/// Big-endian fallback: the same run decoding through safe appends, with
+/// per-word little-endian deserialization.
+#[cfg(not(target_endian = "little"))]
+#[inline]
+fn decode_window(mask: u32, window: usize, payload: &[u8], out: &mut Vec<f32>) {
+    let mut m = mask;
+    let mut next = 0usize;
+    let mut taken = 0usize;
+    while m != 0 {
+        let start = m.trailing_zeros() as usize;
+        out.resize(out.len() + (start - next), 0.0);
+        let run = (m >> start).trailing_ones() as usize;
+        out.extend(
+            payload[taken..taken + run * 4]
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        taken += run * 4;
+        next = start + run;
+        m = if next >= 32 {
+            0
+        } else {
+            m & (u32::MAX << next)
+        };
+    }
+    out.resize(out.len() + (window - next), 0.0);
 }
 
 impl Zvc {
@@ -53,13 +256,15 @@ impl Zvc {
     }
 
     /// Exact compressed size in bytes without materializing the stream —
-    /// used by the bandwidth model on multi-gigabyte traces.
+    /// used by the bandwidth model on multi-gigabyte traces. The non-zero
+    /// count is a branch-free fold over the raw bit patterns, which the
+    /// compiler vectorizes.
     pub fn compressed_size(data: &[f32]) -> usize {
         let full_windows = data.len() / ZVC_WINDOW_ELEMS;
         let tail = data.len() % ZVC_WINDOW_ELEMS;
         let masks = (full_windows + usize::from(tail > 0)) * 4;
-        let nonzeros = data.iter().filter(|&&v| v.to_bits() != 0).count() * 4;
-        masks + nonzeros
+        let nonzeros: usize = window_bits(data).iter().map(|w| usize::from(*w != 0)).sum();
+        masks + nonzeros * 4
     }
 }
 
@@ -70,13 +275,103 @@ impl Compressor for Zvc {
 
     fn compress_append(&self, data: &[f32], out: &mut Vec<u8>) {
         // O(1) worst-case bound (all words non-zero) — the exact analytic
-        // size would cost a full extra pass over `data`.
+        // size would cost a full extra pass over `data`. The reservation is
+        // what lets the kernel write through a raw cursor below.
+        out.reserve(data.len() * 4 + data.len().div_ceil(ZVC_WINDOW_ELEMS) * 4);
+        compress_append_runs(data, out);
+    }
+
+    fn decompress_append(
+        &self,
+        bytes: &[u8],
+        element_count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
+        out.reserve(element_count);
+        let base = out.len();
+        let mut pos = 0usize;
+        while out.len() - base < element_count {
+            if pos + 4 > bytes.len() {
+                return Err(DecodeError::Truncated {
+                    expected: element_count,
+                    decoded: out.len() - base,
+                });
+            }
+            let mask =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+            pos += 4;
+            let window = (element_count - (out.len() - base)).min(ZVC_WINDOW_ELEMS);
+            if window < ZVC_WINDOW_ELEMS && (mask >> window) != 0 {
+                return Err(DecodeError::Corrupt("mask bits set beyond final window"));
+            }
+            let payload = mask.count_ones() as usize * 4;
+            if pos + payload > bytes.len() {
+                // Cold path: the payload is truncated mid-window. Walk the
+                // window element by element like the scalar reference so the
+                // partial output and the `Truncated` fields match it exactly.
+                for i in 0..window {
+                    if mask & (1 << i) != 0 {
+                        if pos + 4 > bytes.len() {
+                            return Err(DecodeError::Truncated {
+                                expected: element_count,
+                                decoded: out.len() - base,
+                            });
+                        }
+                        let v = f32::from_le_bytes([
+                            bytes[pos],
+                            bytes[pos + 1],
+                            bytes[pos + 2],
+                            bytes[pos + 3],
+                        ]);
+                        pos += 4;
+                        out.push(v);
+                    } else {
+                        out.push(0.0);
+                    }
+                }
+                continue;
+            }
+            decode_window(mask, window, &bytes[pos..pos + payload], out);
+            pos += payload;
+        }
+        if pos != bytes.len() {
+            return Err(DecodeError::TrailingData {
+                expected: element_count,
+            });
+        }
+        Ok(())
+    }
+
+    fn compressed_size(&self, data: &[f32]) -> usize {
+        Zvc::compressed_size(data)
+    }
+
+    fn compress(&self, data: &[f32]) -> Vec<u8> {
+        // One-shot form: exact-size allocation from the analytic size.
+        let mut out = Vec::with_capacity(Zvc::compressed_size(data));
+        self.compress_append(data, &mut out);
+        out
+    }
+}
+
+/// The pre-vectorization per-element ZVC codec, kept verbatim as the
+/// reference oracle: the word-at-a-time kernels must produce byte-identical
+/// streams and identical error behaviour (the property tests in this module
+/// assert exactly that), and the streaming benchmark uses it as its
+/// "before" baseline. Not part of the public API — hidden from docs and
+/// exempt from semver expectations.
+#[doc(hidden)]
+pub mod scalar_reference {
+    use super::{DecodeError, ZVC_WINDOW_ELEMS};
+
+    /// Scalar (branch-per-element) counterpart of
+    /// [`Compressor::compress_append`](crate::Compressor::compress_append)
+    /// for [`Zvc`](super::Zvc).
+    pub fn compress_append(data: &[f32], out: &mut Vec<u8>) {
         out.reserve(data.len() * 4 + data.len().div_ceil(ZVC_WINDOW_ELEMS) * 4);
         for chunk in data.chunks(ZVC_WINDOW_ELEMS) {
             let mut mask: u32 = 0;
             for (i, v) in chunk.iter().enumerate() {
-                // Bit-exact zero test: -0.0 and denormals are "non-zero"
-                // payload as far as lossless hardware is concerned.
                 if v.to_bits() != 0 {
                     mask |= 1 << i;
                 }
@@ -90,8 +385,15 @@ impl Compressor for Zvc {
         }
     }
 
-    fn decompress_append(
-        &self,
+    /// Scalar (bit-at-a-time) counterpart of
+    /// [`Compressor::decompress_append`](crate::Compressor::decompress_append)
+    /// for [`Zvc`](super::Zvc).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`DecodeError`]s, with the same fields and partial
+    /// output, as the word-at-a-time decoder.
+    pub fn decompress_append(
         bytes: &[u8],
         element_count: usize,
         out: &mut Vec<f32>,
@@ -141,21 +443,11 @@ impl Compressor for Zvc {
         }
         Ok(())
     }
-
-    fn compressed_size(&self, data: &[f32]) -> usize {
-        Zvc::compressed_size(data)
-    }
-
-    fn compress(&self, data: &[f32]) -> Vec<u8> {
-        // One-shot form: exact-size allocation from the analytic size.
-        let mut out = Vec::with_capacity(Zvc::compressed_size(data));
-        self.compress_append(data, &mut out);
-        out
-    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::scalar_reference as scalar;
     use super::*;
 
     fn roundtrip(data: &[f32]) {
@@ -168,6 +460,52 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
     }
+
+    /// Asserts the fast kernels agree with the scalar oracle on `data`:
+    /// byte-identical stream, identical decode, identical size accounting.
+    fn assert_matches_scalar(data: &[f32]) {
+        let zvc = Zvc::new();
+        let fast = zvc.compress(data);
+        let mut reference = Vec::new();
+        scalar::compress_append(data, &mut reference);
+        assert_eq!(fast, reference, "stream mismatch on {} elems", data.len());
+        assert_eq!(fast.len(), Zvc::compressed_size(data));
+
+        let mut fast_back = Vec::new();
+        zvc.decompress_append(&fast, data.len(), &mut fast_back)
+            .unwrap();
+        let mut scalar_back = Vec::new();
+        scalar::decompress_append(&reference, data.len(), &mut scalar_back).unwrap();
+        assert_eq!(fast_back.len(), data.len());
+        for (i, (a, b)) in fast_back.iter().zip(&scalar_back).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "word {i}");
+        }
+        for (i, (a, b)) in fast_back.iter().zip(data).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "word {i}");
+        }
+    }
+
+    /// Deterministic 64-bit LCG (Knuth's MMIX constants) — the workspace's
+    /// stand-in for a property-test RNG.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state
+    }
+
+    /// Adversarial payload words: values a naive `!= 0.0` or arithmetic
+    /// codec would mangle. `-0.0` must survive as a *non-zero* word.
+    const ADVERSARIAL_WORDS: [f32; 8] = [
+        f32::NAN,
+        -0.0,
+        1.0e-40, // subnormal
+        -1.0e-42,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::MIN_POSITIVE,
+        -3.25,
+    ];
 
     #[test]
     fn all_zero_window_is_only_mask() {
@@ -265,5 +603,106 @@ mod tests {
         let bytes = 0b10u32.to_le_bytes().to_vec();
         let err = Zvc::new().decompress(&bytes, 1).unwrap_err();
         assert!(matches!(err, DecodeError::Corrupt(_)));
+    }
+
+    #[test]
+    fn adversarial_windows_match_scalar() {
+        // All-zero and all-dense windows, alone and stacked.
+        assert_matches_scalar(&[0.0; 32]);
+        assert_matches_scalar(&[7.5; 32]);
+        assert_matches_scalar(&[0.0; 96]);
+        assert_matches_scalar(&[7.5; 96]);
+
+        // Single-bit masks: exactly one non-zero word at every position,
+        // with -0.0 as the survivor (it must register as non-zero).
+        for bit in 0..ZVC_WINDOW_ELEMS {
+            let mut window = [0.0f32; ZVC_WINDOW_ELEMS];
+            window[bit] = -0.0;
+            assert_matches_scalar(&window);
+            window[bit] = f32::NAN;
+            assert_matches_scalar(&window);
+        }
+
+        // NaN / ±0.0 / subnormal payloads, tiled across several windows.
+        let adversarial: Vec<f32> = (0..200)
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    ADVERSARIAL_WORDS[i % ADVERSARIAL_WORDS.len()]
+                }
+            })
+            .collect();
+        assert_matches_scalar(&adversarial);
+    }
+
+    #[test]
+    fn every_tail_length_matches_scalar() {
+        // Tail windows of every length 1..32, in sparse, dense, and
+        // adversarial fills, with and without preceding full windows.
+        for tail in 1..=ZVC_WINDOW_ELEMS {
+            for prefix_windows in [0usize, 2] {
+                let n = prefix_windows * ZVC_WINDOW_ELEMS + tail;
+                let sparse: Vec<f32> = (0..n)
+                    .map(|i| if i % 4 == 1 { i as f32 + 0.5 } else { 0.0 })
+                    .collect();
+                assert_matches_scalar(&sparse);
+                let dense: Vec<f32> = (0..n).map(|i| i as f32 - 7.25).collect();
+                assert_matches_scalar(&dense);
+                let adv: Vec<f32> = (0..n)
+                    .map(|i| ADVERSARIAL_WORDS[i % ADVERSARIAL_WORDS.len()])
+                    .collect();
+                assert_matches_scalar(&adv);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_streams_match_scalar() {
+        // Seeded property loop: random lengths, densities, and payload
+        // values (including the adversarial pool) through both kernels.
+        let mut state = 0xC0FFEE_u64;
+        for _ in 0..300 {
+            let len = (lcg(&mut state) % 400) as usize;
+            let density = (lcg(&mut state) % 101) as f64 / 100.0;
+            let data: Vec<f32> = (0..len)
+                .map(|_| {
+                    if ((lcg(&mut state) % 1000) as f64) < density * 1000.0 {
+                        let pick = lcg(&mut state);
+                        if pick.is_multiple_of(5) {
+                            ADVERSARIAL_WORDS[(pick / 5) as usize % ADVERSARIAL_WORDS.len()]
+                        } else {
+                            f32::from_bits((pick >> 16) as u32 | 1) // non-zero bits
+                        }
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            assert_matches_scalar(&data);
+        }
+    }
+
+    #[test]
+    fn truncation_behaviour_matches_scalar_at_every_cut() {
+        // Cut a valid stream at every byte boundary: both decoders must
+        // produce the same error variant, fields, and partial output.
+        let data: Vec<f32> = (0..70)
+            .map(|i| if i % 3 == 0 { 0.0 } else { i as f32 + 0.25 })
+            .collect();
+        let zvc = Zvc::new();
+        let bytes = zvc.compress(&data);
+        for cut in 0..bytes.len() {
+            let mut fast_out = Vec::new();
+            let fast = zvc.decompress_append(&bytes[..cut], data.len(), &mut fast_out);
+            let mut scalar_out = Vec::new();
+            let scalar = scalar::decompress_append(&bytes[..cut], data.len(), &mut scalar_out);
+            assert_eq!(fast, scalar, "cut at {cut}");
+            assert_eq!(
+                fast_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                scalar_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "partial output at cut {cut}"
+            );
+        }
     }
 }

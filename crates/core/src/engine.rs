@@ -149,9 +149,10 @@ impl CdmaEngine {
     pub fn memcpy_compressed_reusing(
         &self,
         data: &[f32],
-        recycled: windowed::WindowedStream,
+        mut recycled: windowed::WindowedStream,
     ) -> CompressedCopy {
-        let stream = self.compress_windows(data, recycled);
+        self.compress_windows(data, &mut recycled);
+        let stream = recycled;
         let stats = stream.stats();
         // Line table for the discrete-event pipeline, streamed straight off
         // the window-offset table — no per-offload size vector is built.
@@ -176,24 +177,38 @@ impl CdmaEngine {
     /// [`cdma_vdnn::timeline::MeasuredStream`]) and would otherwise pay for
     /// a discrete-event run whose timing they discard.
     pub fn compress_lines(&self, data: &[f32]) -> (CompressionStats, Vec<(u32, u32)>) {
-        let stream = self.compress_windows(data, windowed::WindowedStream::default());
-        (stream.stats(), stream_lines(&stream).collect())
+        let mut scratch = windowed::WindowedStream::default();
+        let mut lines = Vec::new();
+        let stats = self.compress_lines_into(data, &mut scratch, &mut lines);
+        (stats, lines)
+    }
+
+    /// Streaming form of [`CdmaEngine::compress_lines`]: recompresses into
+    /// the caller-owned `scratch` stream and rewrites `lines` in place
+    /// (cleared first, capacity kept), so loops that build line tables —
+    /// e.g. `cdma_core::measured` synthesizing one stream per layer —
+    /// recycle one stream buffer and one line vector across all calls.
+    pub fn compress_lines_into(
+        &self,
+        data: &[f32],
+        scratch: &mut windowed::WindowedStream,
+        lines: &mut Vec<(u32, u32)>,
+    ) -> CompressionStats {
+        self.compress_windows(data, scratch);
+        lines.clear();
+        lines.extend(stream_lines(scratch));
+        scratch.stats()
     }
 
     /// The one window-compression dispatch: recompresses `data` into
     /// `recycled` (cleared first), in parallel when opted in.
-    fn compress_windows(
-        &self,
-        data: &[f32],
-        mut recycled: windowed::WindowedStream,
-    ) -> windowed::WindowedStream {
+    fn compress_windows(&self, data: &[f32], recycled: &mut windowed::WindowedStream) {
         let codec = self.algorithm.codec();
         if self.threads > 1 {
             recycled.recompress_parallel(&codec, data, self.window_bytes, self.threads);
         } else {
             recycled.recompress(&codec, data, self.window_bytes);
         }
-        recycled
     }
 
     /// The CPU→GPU prefetch direction: decompresses a copy back into
@@ -357,6 +372,26 @@ mod tests {
         let (stats, lines) = engine.compress_lines(&data);
         assert_eq!(stats, copy.stats);
         assert_eq!(lines, copy.lines().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compress_lines_into_recycles_and_matches() {
+        let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+        let mut scratch = windowed::WindowedStream::default();
+        let mut lines = Vec::new();
+        for n in [40_000usize, 30_000, 50_000] {
+            let data = sparse_data(35, n);
+            let (fresh_stats, fresh_lines) = engine.compress_lines(&data);
+            let stats = engine.compress_lines_into(&data, &mut scratch, &mut lines);
+            assert_eq!(stats, fresh_stats);
+            assert_eq!(lines, fresh_lines);
+        }
+        // Steady state: a second same-sized pass allocates nothing.
+        let data = sparse_data(35, 50_000);
+        engine.compress_lines_into(&data, &mut scratch, &mut lines);
+        let cap = lines.capacity();
+        engine.compress_lines_into(&data, &mut scratch, &mut lines);
+        assert_eq!(lines.capacity(), cap);
     }
 
     #[test]

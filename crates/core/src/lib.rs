@@ -16,9 +16,10 @@
 //!   engine (or synthesizes profiled activations at ImageNet scale) into a
 //!   [`cdma_vdnn::timeline::MeasuredStream`].
 //! * [`experiment`] — drivers that regenerate every table and figure of
-//!   the paper's evaluation (consumed by the `cdma-bench` binaries and the
-//!   integration tests), including the fidelity sweep comparing the
-//!   timeline's three transfer sources.
+//!   the paper's evaluation (dispatched by the `cdma-bench` CLI's
+//!   `experiments` subcommand and exercised by the integration tests),
+//!   including the fidelity sweep comparing the timeline's three transfer
+//!   sources.
 //!
 //! ```
 //! use cdma_core::CdmaEngine;

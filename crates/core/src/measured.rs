@@ -19,6 +19,7 @@
 //!   window boundaries reset per image rather than spanning the batch
 //!   buffer).
 
+use cdma_compress::windowed::WindowedStream;
 use cdma_dnn::Trainer;
 use cdma_models::profiles::NetworkProfile;
 use cdma_models::NetworkSpec;
@@ -127,8 +128,13 @@ pub fn synthesized_stream_with_layout(
 ) -> MeasuredStream {
     let mut gen = ActivationGen::seeded(seed);
     let batch = spec.batch();
-    let replicate = |tensor: &Tensor| -> Vec<(u32, u32)> {
-        let (_, per_image) = engine.compress_lines(tensor.as_slice());
+    // One compressed-stream scratch buffer and one per-image line table,
+    // recycled across every layer of the synthesis loop — the per-layer
+    // cost is the word-at-a-time ZVC kernels plus one memcpy, nothing else.
+    let mut scratch = WindowedStream::default();
+    let mut per_image: Vec<(u32, u32)> = Vec::new();
+    let mut replicate = |tensor: &Tensor| -> Vec<(u32, u32)> {
+        engine.compress_lines_into(tensor.as_slice(), &mut scratch, &mut per_image);
         let mut lines = Vec::with_capacity(per_image.len() * batch);
         for _ in 0..batch {
             lines.extend_from_slice(&per_image);

@@ -5,8 +5,8 @@
 //! binary artifacts such as the Fig. 5 PGM images). One report renders to
 //! three formats through [`render`]:
 //!
-//! * **text** — aligned human-readable tables, like the legacy binaries
-//!   printed;
+//! * **text** — aligned human-readable tables, as printed by
+//!   `cdma-bench experiments <name>` without `--format`;
 //! * **csv** — one header + data block per table, RFC-4180-style quoting;
 //! * **json** — a hand-rolled, escape-correct writer (this workspace
 //!   builds offline, so there is no serde). Key order is fixed by the
@@ -19,8 +19,8 @@ use std::fmt::Write as _;
 /// One value of a report table: a string, a float, or an integer.
 ///
 /// Keeping the numeric cells numeric (instead of pre-formatting strings,
-/// as the legacy binaries did) is what makes the CSV/JSON renderings
-/// machine-readable and the golden tests bit-exact.
+/// as the deleted per-figure drivers did) is what makes the CSV/JSON
+/// renderings machine-readable and the golden tests bit-exact.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Cell {
     /// A text cell.

@@ -399,8 +399,9 @@ enum TableKind {
 /// more than once: network specs, density profiles, the measured
 /// [`RatioTable`], per-cell traffic summaries, and synthesized measured
 /// streams. One `Context` outlives a whole `experiments all` run, so
-/// e.g. the ratio table is built once instead of once per binary as the
-/// legacy `cdma-bench` bins did.
+/// e.g. the ratio table is built once and shared by all 18 experiments
+/// (the deleted per-figure `cdma-bench` bins each rebuilt it from
+/// scratch).
 ///
 /// All methods take `&self`; a `Context` is `Sync` and is shared by the
 /// [`Runner`]'s worker threads.
@@ -444,8 +445,8 @@ impl Context {
         }
     }
 
-    /// A context with the full-resolution ratio table (seed 42, like the
-    /// legacy figure binaries).
+    /// A context with the full-resolution ratio table (seed 42 — the
+    /// seed the golden tests pin the figures to).
     pub fn new() -> Self {
         Context::with_kind(TableKind::Full(42), None)
     }

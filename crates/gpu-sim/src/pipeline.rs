@@ -108,19 +108,23 @@ impl ZvcCompressPipeline {
                 mask: s1.mask,
             });
         }
-        // Stage 1: parallel zero compare + prefix sum.
+        // Stage 1: parallel zero compare + prefix sum. Like the hardware's
+        // eight simultaneous comparators (and the word-at-a-time software
+        // codec), the comparisons fold into the sector mask with shifts —
+        // no per-word branch — and the prefix sums drop out of the mask as
+        // popcounts of the bits below each lane.
         if let Some(words_f) = input {
             let mut words = [0u32; WORDS_PER_SECTOR];
+            for (w, v) in words.iter_mut().zip(&words_f) {
+                *w = v.to_bits();
+            }
             let mut mask = 0u8;
+            for (i, w) in words.iter().enumerate() {
+                mask |= u8::from(*w != 0) << i;
+            }
             let mut prefix = [0u8; WORDS_PER_SECTOR];
-            let mut running = 0u8;
-            for i in 0..WORDS_PER_SECTOR {
-                words[i] = words_f[i].to_bits();
-                prefix[i] = running;
-                if words[i] != 0 {
-                    mask |= 1 << i;
-                    running += 1;
-                }
+            for (i, p) in prefix.iter_mut().enumerate() {
+                *p = (mask & ((1u8 << i) - 1)).count_ones() as u8;
             }
             self.stage1 = Some(Stage1 {
                 words,
