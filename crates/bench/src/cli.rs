@@ -29,6 +29,7 @@ EXAMPLES:
   cdma-bench experiments fig11
   cdma-bench experiments all --format json --jobs 4 > all.json
   cdma-bench experiments fig13 --filter net=SqueezeNet --format csv
+  cdma-bench experiments fig_multi_gpu --out target/experiments
   cdma-bench experiments all --out target/experiments --format json
 ";
 

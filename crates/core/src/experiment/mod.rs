@@ -24,12 +24,17 @@
 //! assert!(json.starts_with("{\"experiment\":\"fig12\""));
 //! ```
 
+mod cluster;
 mod density;
 mod grid;
 mod system;
 mod timeline;
 mod training;
 
+pub use cluster::{
+    cluster_timeline, fig_multi_gpu, multi_gpu_row, MultiGpuReport, MultiGpuRow, TenantRow,
+    GPU_SWEEP,
+};
 pub use density::{
     density_figure, density_figure_from_profile, fig04, fig05, fig06, fig07, DensityFigure,
     Fig04Report, Fig05Report, Fig06Report, Fig07Report, Fig7Data,
@@ -126,6 +131,10 @@ pub const CATALOGUE: &[ExperimentInfo] = &[
         title: "Section IX: ZVC-compressed activation storage in GPU DRAM",
     },
     ExperimentInfo {
+        name: "fig_multi_gpu",
+        title: "Section IX: multi-GPU shared-link contention, per-g speedup",
+    },
+    ExperimentInfo {
         name: "rnn_traffic",
         title: "RNN boundary claim: ReLU vs saturating recurrences",
     },
@@ -168,6 +177,7 @@ pub fn run(
         "energy" => Box::new(system::energy(ctx, runner, filter)),
         "memory_usage" => Box::new(system::memory_usage(ctx, filter)),
         "footprint" => Box::new(system::footprint(ctx, filter)),
+        "fig_multi_gpu" => Box::new(cluster::fig_multi_gpu(ctx, runner, filter)),
         "rnn_traffic" => Box::new(training::rnn_traffic(ctx)),
         "training_run" => Box::new(training::training_runs(ctx, runner, filter)),
         "ablations" => Box::new(system::ablations(ctx, runner)),
@@ -183,7 +193,7 @@ mod tests {
     #[test]
     fn catalogue_names_are_unique_and_dispatchable() {
         let names = names();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
         for (i, n) in names.iter().enumerate() {
             assert!(!names[..i].contains(n), "duplicate {n}");
         }
@@ -198,7 +208,7 @@ mod tests {
 
     #[test]
     fn report_names_match_catalogue_names() {
-        // Cheap spot checks (running all 18 here would be slow; the CLI
+        // Cheap spot checks (running all 19 here would be slow; the CLI
         // smoke test covers the full catalogue).
         let ctx = Context::fast();
         let runner = Runner::sequential();

@@ -47,7 +47,7 @@ use cdma_models::{zoo, NetworkSpec};
 use cdma_tensor::Layout;
 use cdma_vdnn::timeline::MeasuredStream;
 use cdma_vdnn::traffic::{self, NetworkTraffic};
-use cdma_vdnn::{Fidelity, FidelitySource, ProfiledDensity, RatioTable, UniformRatio};
+use cdma_vdnn::{Fidelity, FidelitySource, LinkPolicy, ProfiledDensity, RatioTable, UniformRatio};
 
 use crate::measured;
 use crate::CdmaEngine;
@@ -71,18 +71,30 @@ pub struct Scenario {
     pub seed: u64,
     /// Platform configuration.
     pub config: SystemConfig,
+    /// Data-parallel GPU count sharing the host link (1 = the dedicated
+    /// single-GPU platform of the core figures).
+    pub gpus: usize,
+    /// Shared-link arbitration policy (only observable when `gpus > 1` or
+    /// tenants share the link).
+    pub link_policy: LinkPolicy,
 }
 
 impl Scenario {
-    /// A compact human-readable label (`AlexNet/NCHW/ZV@0.5`).
+    /// A compact human-readable label (`AlexNet/NCHW/ZV@0.5`, with an
+    /// ` x4` suffix on multi-GPU cells).
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}@{}",
             self.network,
             self.layout,
             self.algorithm.label(),
             self.checkpoint
-        )
+        );
+        if self.gpus > 1 {
+            format!("{base} x{}", self.gpus)
+        } else {
+            base
+        }
     }
 }
 
@@ -160,7 +172,8 @@ impl<'a> IntoIterator for &'a ScenarioSet {
 }
 
 /// Cartesian sweep builder for [`ScenarioSet`]: the product of every
-/// axis, nested network → layout → algorithm → fidelity → checkpoint.
+/// axis, nested network → layout → algorithm → fidelity → checkpoint →
+/// GPU count → link policy.
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
     networks: Vec<String>,
@@ -170,6 +183,8 @@ pub struct ScenarioBuilder {
     checkpoints: Vec<f64>,
     seed: u64,
     config: SystemConfig,
+    gpu_counts: Vec<usize>,
+    link_policies: Vec<LinkPolicy>,
 }
 
 impl Default for ScenarioBuilder {
@@ -185,6 +200,8 @@ impl Default for ScenarioBuilder {
             checkpoints: vec![0.5],
             seed: 42,
             config: SystemConfig::titan_x_pcie3(),
+            gpu_counts: vec![1],
+            link_policies: vec![LinkPolicy::BandwidthShare],
         }
     }
 }
@@ -236,6 +253,45 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the data-parallel GPU-count axis (the Section IX sweep passes
+    /// `[1, 2, 4, 8]`).
+    ///
+    /// ```
+    /// use cdma_core::scenario::ScenarioSet;
+    ///
+    /// let set = ScenarioSet::builder()
+    ///     .networks(["AlexNet"])
+    ///     .gpu_counts([1, 2, 4, 8])
+    ///     .build();
+    /// assert_eq!(set.len(), 4);
+    /// assert_eq!(set.scenarios()[3].gpus, 8);
+    /// assert!(set.scenarios()[3].label().ends_with("x8"));
+    /// ```
+    pub fn gpu_counts<I: IntoIterator<Item = usize>>(mut self, gpus: I) -> Self {
+        self.gpu_counts = gpus.into_iter().collect();
+        self
+    }
+
+    /// Sets the shared-link arbitration-policy axis.
+    ///
+    /// ```
+    /// use cdma_core::scenario::ScenarioSet;
+    /// use cdma_vdnn::LinkPolicy;
+    ///
+    /// let set = ScenarioSet::builder()
+    ///     .networks(["AlexNet"])
+    ///     .gpu_counts([4])
+    ///     .link_policies(LinkPolicy::ALL)
+    ///     .build();
+    /// assert_eq!(set.len(), 2);
+    /// assert_eq!(set.scenarios()[0].link_policy, LinkPolicy::BandwidthShare);
+    /// assert_eq!(set.scenarios()[1].link_policy.label(), "round-robin");
+    /// ```
+    pub fn link_policies<I: IntoIterator<Item = LinkPolicy>>(mut self, policies: I) -> Self {
+        self.link_policies = policies.into_iter().collect();
+        self
+    }
+
     /// Materializes the cartesian product.
     pub fn build(self) -> ScenarioSet {
         let mut scenarios = Vec::with_capacity(
@@ -243,22 +299,30 @@ impl ScenarioBuilder {
                 * self.layouts.len()
                 * self.algorithms.len()
                 * self.fidelities.len()
-                * self.checkpoints.len(),
+                * self.checkpoints.len()
+                * self.gpu_counts.len()
+                * self.link_policies.len(),
         );
         for network in &self.networks {
             for &layout in &self.layouts {
                 for &algorithm in &self.algorithms {
                     for &fidelity in &self.fidelities {
                         for &checkpoint in &self.checkpoints {
-                            scenarios.push(Scenario {
-                                network: network.clone(),
-                                layout,
-                                algorithm,
-                                fidelity,
-                                checkpoint,
-                                seed: self.seed,
-                                config: self.config,
-                            });
+                            for &gpus in &self.gpu_counts {
+                                for &link_policy in &self.link_policies {
+                                    scenarios.push(Scenario {
+                                        network: network.clone(),
+                                        layout,
+                                        algorithm,
+                                        fidelity,
+                                        checkpoint,
+                                        seed: self.seed,
+                                        config: self.config,
+                                        gpus,
+                                        link_policy,
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -399,7 +463,7 @@ enum TableKind {
 /// more than once: network specs, density profiles, the measured
 /// [`RatioTable`], per-cell traffic summaries, and synthesized measured
 /// streams. One `Context` outlives a whole `experiments all` run, so
-/// e.g. the ratio table is built once and shared by all 18 experiments
+/// e.g. the ratio table is built once and shared by all 19 experiments
 /// (the deleted per-figure `cdma-bench` bins each rebuilt it from
 /// scratch).
 ///

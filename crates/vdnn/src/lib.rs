@@ -20,6 +20,11 @@
 //!   PCIe link, fed by a [`TransferSource`] at one of three fidelity levels
 //!   ([`UniformRatio`] analytic ratios, [`ProfiledDensity`] trajectory
 //!   ratios, [`MeasuredStream`] real compressed line sizes);
+//! * [`cluster`] — the multi-GPU shared-link layer (Section IX): per-GPU
+//!   step timelines and per-tenant gradient all-reduce streams contending
+//!   for one [`LinkArbiter`] under a [`LinkPolicy`]
+//!   ([`ClusterSim`]), with [`multi_gpu::MultiGpuSim`] as its thin
+//!   analytic-surface wrapper;
 //! * [`StepSim`] — the legacy layer-by-layer forward/backward interface
 //!   (Fig. 3b and Fig. 13), now a thin wrapper over the timeline with the
 //!   [`UniformRatio`] source.
@@ -41,6 +46,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cluster;
 mod compute;
 pub mod memory;
 pub mod multi_gpu;
@@ -49,10 +55,11 @@ mod schedule;
 pub mod timeline;
 pub mod traffic;
 
+pub use cluster::{ClusterSim, ClusterTimeline, GradientAllReduce, Tenant, TenantResult};
 pub use compute::{ComputeModel, CudnnVersion};
 pub use ratio::RatioTable;
 pub use schedule::{StepBreakdown, StepSim, TransferPolicy};
 pub use timeline::{
-    Fidelity, FidelitySource, MeasuredStream, Payload, ProfiledDensity, StepTimeline, TimelineSim,
-    TransferSource, UniformRatio,
+    Fidelity, FidelitySource, LinkArbiter, LinkPolicy, MeasuredStream, Payload, ProfiledDensity,
+    StepTimeline, TimelineSim, TransferSource, UniformRatio,
 };

@@ -11,11 +11,25 @@
 //! weights each step. Activations shrink with the per-GPU batch; weight
 //! gradients do not — so the shared link gets more congested as `g` grows,
 //! which is exactly when cDMA's traffic reduction matters most.
+//!
+//! [`MultiGpuSim`] is the analytic *surface* of that scenario: a thin
+//! wrapper over the event-driven [`ClusterSim`]
+//! with a single symmetric tenant and fluid bandwidth-share arbitration —
+//! exactly as [`StepSim`](crate::StepSim) wraps
+//! [`TimelineSim`](crate::timeline::TimelineSim). In this contention-free
+//! case the fluid fair share reduces to the paper's static `PCIe / g`
+//! split, so the wrapper reproduces the legacy closed form within 1e-9
+//! (pinned against an independent reimplementation in
+//! `tests/multi_gpu_cross_validation.rs`). Use the cluster simulator
+//! directly for link-contention studies: heterogeneous tenants, round-robin
+//! arbitration, or overlapping the all-reduce with backward propagation.
 
 use cdma_gpusim::SystemConfig;
 use cdma_models::NetworkSpec;
 
-use crate::{ComputeModel, StepBreakdown, StepSim, TransferPolicy};
+use crate::cluster::{ClusterSim, GradientAllReduce, Tenant};
+use crate::timeline::{LinkPolicy, UniformRatio};
+use crate::{ComputeModel, StepBreakdown};
 
 /// A data-parallel training platform: `gpus` identical GPUs sharing one
 /// host link.
@@ -51,40 +65,36 @@ impl MultiGpuSim {
         self.base.pcie_bw / self.gpus as f64
     }
 
+    /// The equivalent event-driven cluster simulator (fluid fair-share
+    /// arbitration, all-reduce serialized after the step).
+    pub fn cluster(&self) -> ClusterSim {
+        ClusterSim::new(self.base, self.compute, LinkPolicy::BandwidthShare)
+    }
+
+    /// The checked gradient all-reduce byte accounting of one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec`'s weight bytes disagree with `parameters × 4` (see
+    /// [`GradientAllReduce::ring`]).
+    pub fn allreduce(&self, spec: &NetworkSpec) -> GradientAllReduce {
+        GradientAllReduce::ring(spec, self.gpus)
+    }
+
     /// Simulates one data-parallel step: each GPU computes `batch/g` images
     /// with vDNN offloading at `ratio`, then the gradient all-reduce
     /// serializes on the shared link.
     ///
     /// Returns `(per-GPU step breakdown, all-reduce seconds)`.
     pub fn step_time(&self, spec: &NetworkSpec, ratio: f64) -> (StepBreakdown, f64) {
-        // Per-GPU view: a smaller batch over a slice of the link.
-        let per_gpu_cfg = self.base.shared_link(self.gpus);
-        // Rebuild a per-GPU spec by scaling the batch down. NetworkSpec is
-        // immutable; the compute/traffic models scale linearly in batch, so
-        // we scale times instead: compute and activation bytes both divide
-        // by g, which is equivalent to running the same spec and dividing
-        // transfer+compute times by g, except the link share already
-        // reflects the sharing — so simulate with full batch and divide the
-        // batch-linear parts by g.
-        let sim = StepSim::new(per_gpu_cfg, self.compute);
-        let full = sim.step_time(spec, TransferPolicy::uniform(spec, ratio));
-        let scale = 1.0 / self.gpus as f64;
-        let breakdown = StepBreakdown {
-            forward: full.forward * scale,
-            backward: full.backward * scale,
-            forward_stall: full.forward_stall * scale,
-            backward_stall: full.backward_stall * scale,
-        };
-        // Ring all-reduce: each GPU sends/receives ~2·(g-1)/g of the weight
-        // bytes over its link share.
-        let allreduce = if self.gpus == 1 {
-            0.0
-        } else {
-            let bytes =
-                spec.weight_bytes() as f64 * 2.0 * (self.gpus as f64 - 1.0) / self.gpus as f64;
-            bytes / self.per_gpu_link_bw()
-        };
-        (breakdown, allreduce)
+        let source = UniformRatio::uniform(spec, ratio);
+        let tl = self.cluster().simulate(&[Tenant {
+            spec,
+            source: &source,
+            gpus: self.gpus,
+        }]);
+        let t = &tl.tenants()[0];
+        (t.step, t.allreduce)
     }
 
     /// End-to-end step latency including the all-reduce.
@@ -155,5 +165,21 @@ mod tests {
         // the total shrinks by less than 4x.
         assert!(b4.total() < b1.total());
         assert!(b4.total() > b1.total() / 4.0);
+    }
+
+    #[test]
+    fn allreduce_seconds_match_the_checked_byte_accounting() {
+        // The wrapper's all-reduce time must be exactly the checked ring
+        // bytes over the full link (g flows at 1/g share each).
+        let spec = zoo::alexnet();
+        let p = platform(4);
+        let (_, ar) = p.step_time(&spec, 1.0);
+        let ring = p.allreduce(&spec);
+        assert_eq!(ring.total_wire_bytes(), spec.total_params() * 4 * 6);
+        let expect = ring.seconds_at(SystemConfig::titan_x_nvlink().pcie_bw);
+        assert!(
+            (ar - expect).abs() / expect < 1e-9,
+            "all-reduce {ar} vs checked bytes {expect}"
+        );
     }
 }

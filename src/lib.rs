@@ -11,7 +11,7 @@
 //! | [`dnn`] | `cdma-dnn` | from-scratch CPU training framework |
 //! | [`models`] | `cdma-models` | the six evaluated networks + density profiles |
 //! | [`gpusim`] | `cdma-gpusim` | memory-subsystem / engine / area / energy models |
-//! | [`vdnn`] | `cdma-vdnn` | event-driven training-step timeline, offload/prefetch scheduling, compute model |
+//! | [`vdnn`] | `cdma-vdnn` | event-driven training-step timeline, multi-GPU shared-link cluster ([`vdnn::cluster`], [`vdnn::LinkArbiter`]), offload/prefetch scheduling, compute model |
 //! | [`core`] | `cdma-core` | the cDMA engine + the declarative scenario/experiment API |
 //!
 //! # The declarative scenario API
