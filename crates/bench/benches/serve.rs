@@ -1,0 +1,178 @@
+//! The cdma-serve load harness as a bench target: real threads, real
+//! compression, wall-clock latency percentiles — plus the virtual-time
+//! determinism check CI leans on.
+//!
+//! ```text
+//! cargo bench -p cdma-bench --bench serve                 # full run (~2 s of load)
+//! cargo bench -p cdma-bench --bench serve -- --fast       # CI smoke (~0.5 s)
+//! cargo bench -p cdma-bench --bench serve -- --workers 8
+//! cargo bench -p cdma-bench --bench serve -- --summary out.json   # virtual summary (cmp-able)
+//! cargo bench -p cdma-bench --bench serve -- --latency lat.json   # wall latency report
+//! cargo bench -p cdma-bench --bench serve -- --record             # append BENCH_serve.json
+//! ```
+//!
+//! Acceptance bars asserted here:
+//! * the wall-clock run sustains ≥ 10k req/s of 4 KB ZVC compress jobs
+//!   on 4 workers with zero sheds and a non-empty percentile table;
+//! * the virtual run sheds deterministically under 2× overload — the
+//!   summary written by `--summary` is byte-identical across runs.
+
+use cdma_bench::trajectory::Trajectory;
+use cdma_serve::{
+    run_virtual, run_wall, LoadReport, Schedule, ServerConfig, ServiceModel, TenantLoad, TenantSpec,
+};
+
+struct Args {
+    fast: bool,
+    workers: usize,
+    record: bool,
+    summary: Option<String>,
+    latency: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        fast: false,
+        workers: 4,
+        record: false,
+        summary: None,
+        latency: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => args.fast = true,
+            "--record" => args.record = true,
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers takes a positive integer");
+            }
+            "--summary" => args.summary = Some(it.next().expect("--summary takes a path")),
+            "--latency" => args.latency = Some(it.next().expect("--latency takes a path")),
+            "--bench" => {} // passed by `cargo bench`
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    assert!(args.workers > 0, "need at least one worker");
+    args
+}
+
+const SEED: u64 = 42;
+
+/// The wall-clock tenant mix: a heavy weighted tenant plus a light one,
+/// 4 KB windows at the paper's average density.
+fn wall_loads(rate: f64) -> Vec<TenantLoad> {
+    vec![
+        TenantLoad::new(TenantSpec::new("trainer").weight(3.0), rate * 0.7),
+        TenantLoad::new(TenantSpec::new("batch"), rate * 0.3),
+    ]
+}
+
+fn max_p99_us(report: &LoadReport) -> f64 {
+    report
+        .tenants
+        .iter()
+        .filter_map(|t| t.latency.as_ref())
+        .map(|l| l.p99_s * 1e6)
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let args = parse_args();
+    let horizon = if args.fast { 0.5 } else { 2.0 };
+    let config = ServerConfig {
+        workers: args.workers,
+        ..ServerConfig::default()
+    };
+
+    // --- Wall-clock phase: open-loop load against the threaded server.
+    // 40k req/s offered is 4x the 10k req/s acceptance bar and still far
+    // below what 4 cores compress, so zero sheds are required.
+    let offered = 40_000.0;
+    let loads = wall_loads(offered);
+    let schedule = Schedule::generate(&loads, horizon, SEED);
+    println!(
+        "wall-clock: {} arrivals over {horizon} s ({} workers, 4 KB ZVC windows)...",
+        schedule.len(),
+        args.workers
+    );
+    let wall = run_wall(&config, &loads, &schedule);
+    println!("\n{}", wall.table());
+    println!(
+        "throughput {:.0} req/s, goodput {:.2} GB/s, elapsed {:.3} s",
+        wall.throughput_req_per_s(),
+        wall.goodput_bytes_per_s() / 1e9,
+        wall.elapsed_s
+    );
+
+    assert_eq!(wall.total_shed(), 0, "offered load fits; nothing may shed");
+    assert!(
+        wall.tenants.iter().all(|t| t.latency.is_some()),
+        "every tenant must report percentiles"
+    );
+    let bar = 10_000.0;
+    assert!(
+        wall.throughput_req_per_s() >= bar,
+        "sustained {:.0} req/s is below the {bar:.0} req/s bar",
+        wall.throughput_req_per_s()
+    );
+    println!(
+        "ok: sustained {:.0} req/s (>= {bar:.0}) with p99 {:.1} us and 0 sheds",
+        wall.throughput_req_per_s(),
+        max_p99_us(&wall)
+    );
+
+    // --- Virtual phase: the deterministic overload story. 2x modeled
+    // capacity against one 70 KB staging buffer must shed, identically
+    // on every run at this seed.
+    let model = ServiceModel::default();
+    let capacity = args.workers as f64 / model.service_s(4096);
+    let overload = wall_loads(2.0 * capacity);
+    let virt_cfg = ServerConfig {
+        workers: args.workers,
+        staging_bytes: 70 * 1024,
+        ..ServerConfig::default()
+    };
+    let virt_horizon = if args.fast { 0.01 } else { 0.05 };
+    let virt = run_virtual(&virt_cfg, &overload, virt_horizon, SEED, model);
+    let again = run_virtual(&virt_cfg, &overload, virt_horizon, SEED, model);
+    assert!(virt.total_shed() > 0, "2x overload must shed");
+    assert_eq!(
+        virt.deterministic_summary_json(),
+        again.deterministic_summary_json(),
+        "virtual overload must replay bit-identically"
+    );
+    println!(
+        "\nvirtual 2x overload: {} sheds out of {} submissions, rerun bit-identical",
+        virt.total_shed(),
+        virt.total_completed() + virt.total_shed()
+    );
+
+    if let Some(path) = &args.summary {
+        std::fs::write(path, virt.deterministic_summary_json()).expect("write summary");
+        println!("wrote deterministic virtual summary to {path}");
+    }
+    if let Some(path) = &args.latency {
+        std::fs::write(path, wall.latency_json()).expect("write latency report");
+        println!("wrote wall-clock latency report to {path}");
+    }
+
+    if args.record {
+        let mut t = Trajectory::new("serve");
+        t.metric("workers", args.workers as f64)
+            .metric("wall_req_per_s", wall.throughput_req_per_s())
+            .metric("wall_goodput_gbps", wall.goodput_bytes_per_s() / 1e9)
+            .metric("wall_p99_us", max_p99_us(&wall))
+            .metric("wall_shed", wall.total_shed() as f64)
+            .metric("virtual_overload_shed", virt.total_shed() as f64)
+            .metric(
+                "virtual_overload_shed_rate",
+                virt.total_shed() as f64
+                    / (virt.total_shed() + virt.total_completed()).max(1) as f64,
+            );
+        let path = t.append_default().expect("append BENCH_serve.json");
+        println!("recorded trajectory point in {}", path.display());
+    }
+}

@@ -22,6 +22,7 @@
 //! reference (compress + decompress) at d ≈ 0.38.
 
 use cdma_bench::micro::{group, Harness};
+use cdma_bench::trajectory::Trajectory;
 use cdma_compress::{windowed::WindowedStream, Algorithm, Compressor, DecodeError, Zvc};
 use cdma_sparsity::ActivationGen;
 use cdma_tensor::{Layout, Shape4};
@@ -255,6 +256,25 @@ fn print_summary(h: &Harness, fast: bool) {
     }
 }
 
+/// Appends the summary numbers to `BENCH_streaming.json` (`--record`).
+fn record(h: &Harness, fast: bool) {
+    let mut t = Trajectory::new("streaming");
+    t.metric("fast_mode", fast as u64 as f64);
+    for alg in [Algorithm::Rle, Algorithm::Zvc] {
+        t.gbps_from(h, &format!("legacy_vec_per_window/{}", alg.label()));
+        t.gbps_from(h, &format!("contiguous_stream/{}", alg.label()));
+        t.gbps_from(h, &format!("recompress_recycled/{}", alg.label()));
+    }
+    for d in DENSITIES {
+        for label in ["ZV", "ZVscalar"] {
+            t.gbps_from(h, &format!("compress/{label}/d={d:.2}"));
+            t.gbps_from(h, &format!("decompress/{label}/d={d:.2}"));
+        }
+    }
+    let path = t.append_default().expect("append BENCH_streaming.json");
+    println!("recorded trajectory point in {}", path.display());
+}
+
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
     let mut h = Harness::new();
@@ -263,4 +283,7 @@ fn main() {
     bench_decompress_stream(&mut h, fast);
     bench_density_sweep(&mut h, fast);
     print_summary(&h, fast);
+    if std::env::args().any(|a| a == "--record") {
+        record(&h, fast);
+    }
 }

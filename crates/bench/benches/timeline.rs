@@ -8,6 +8,7 @@
 //! so its events/second figure is the simulator's core throughput metric.
 
 use cdma_bench::micro::{group, Harness};
+use cdma_bench::trajectory::Trajectory;
 use cdma_core::{measured, CdmaEngine};
 use cdma_gpusim::SystemConfig;
 use cdma_models::{profiles, zoo};
@@ -70,4 +71,18 @@ fn main() {
         "measured-fidelity step took {measured_iter:?}"
     );
     println!("\nok: measured-fidelity AlexNet step simulates in {measured_iter:?}");
+
+    if std::env::args().any(|a| a == "--record") {
+        let mut t = Trajectory::new("timeline");
+        for ((label, _), ev) in sources.iter().zip(&events) {
+            let per_iter = h.get(label).expect("benched").per_iter.as_secs_f64();
+            t.metric(&format!("{label}_step_ms"), per_iter * 1e3);
+            t.metric(
+                &format!("{label}_mevents_per_s"),
+                *ev as f64 / per_iter / 1e6,
+            );
+        }
+        let path = t.append_default().expect("append BENCH_timeline.json");
+        println!("recorded trajectory point in {}", path.display());
+    }
 }

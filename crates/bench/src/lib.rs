@@ -11,9 +11,11 @@
 //! ```
 //!
 //! [`cli`] parses the command line; [`micro`] is the offline stand-in for
-//! criterion used by the `benches/` targets.
+//! criterion used by the `benches/` targets; [`trajectory`] appends
+//! recorded bench runs to the committed `BENCH_*.json` trajectory files.
 
 #![deny(missing_docs)]
 
 pub mod cli;
 pub mod micro;
+pub mod trajectory;

@@ -56,6 +56,11 @@
 //! path ([`windowed::WindowedStream::compress_parallel`]) for multi-megabyte
 //! activation maps.
 //!
+//! For callers that keep *many* buffers in flight at once (the
+//! `cdma-serve` worker pool), [`pool::Pool`] provides the free-list that
+//! extends the zero-allocation property from one reused buffer to a whole
+//! serving steady state.
+//!
 //! ```
 //! use cdma_compress::{Compressor, Zvc};
 //!
@@ -81,6 +86,7 @@
 mod algorithm;
 mod bitio;
 mod error;
+pub mod pool;
 mod rle;
 mod stats;
 pub mod windowed;

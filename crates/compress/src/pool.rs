@@ -1,0 +1,167 @@
+//! Buffer recycling for steady-state zero-allocation hot loops.
+//!
+//! The streaming codec API ([`Compressor::compress_into`]) already keeps
+//! the allocator out of a *single* caller's loop by reusing one buffer.
+//! A server handling thousands of concurrent requests needs the same
+//! property across *many* in-flight buffers: [`Pool`] is the free-list
+//! that closes the loop — buffers leave the pool attached to a request,
+//! travel through compression and back to the client, and return via
+//! [`Pool::put`] with their capacity intact. After warm-up, every
+//! [`Pool::get`] is a hit and the steady state allocates nothing per
+//! request (pinned by `cdma-serve`'s counting-allocator test).
+//!
+//! [`Compressor::compress_into`]: crate::Compressor::compress_into
+
+/// A value that can be recycled through a [`Pool`]: cheap to construct
+/// empty, and resettable to an empty-but-capacity-keeping state.
+pub trait Reusable: Default {
+    /// Clears the value's contents while keeping its allocations (the
+    /// `Vec::clear` contract).
+    fn reset(&mut self);
+}
+
+impl<T> Reusable for Vec<T> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+/// Hit/miss accounting of a [`Pool`] — a steady-state loop must converge
+/// to hits only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// [`Pool::get`] calls served from the free list.
+    pub hits: u64,
+    /// [`Pool::get`] calls that had to construct a fresh value.
+    pub misses: u64,
+}
+
+/// A LIFO free-list of reusable buffers.
+///
+/// LIFO on purpose: the most recently returned buffer is the one whose
+/// backing pages are hottest in cache. The pool is not thread-safe by
+/// itself — callers that share one across threads wrap it in their own
+/// lock (as `cdma-serve` does), keeping this crate lock-free.
+///
+/// ```
+/// use cdma_compress::pool::Pool;
+///
+/// let mut pool: Pool<Vec<u8>> = Pool::new();
+/// let mut buf = pool.get(); // miss: fresh Vec
+/// buf.extend_from_slice(b"payload");
+/// pool.put(buf); // cleared, capacity kept
+/// let again = pool.get(); // hit: same storage back
+/// assert!(again.is_empty() && again.capacity() >= 7);
+/// assert_eq!(pool.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct Pool<T: Reusable> {
+    free: Vec<T>,
+    stats: PoolStats,
+}
+
+impl<T: Reusable> Default for Pool<T> {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+impl<T: Reusable> Pool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Pool {
+            free: Vec::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// A pool pre-seeded with `n` default-constructed values, with
+    /// free-list storage for `n` entries — so a bounded-concurrency
+    /// steady state never allocates, not even for the free list itself.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut free = Vec::with_capacity(n);
+        free.resize_with(n, T::default);
+        Pool {
+            free,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Takes a buffer from the free list, or constructs a fresh one (a
+    /// recorded miss) when the pool is dry.
+    pub fn get(&mut self) -> T {
+        match self.free.pop() {
+            Some(v) => {
+                self.stats.hits += 1;
+                v
+            }
+            None => {
+                self.stats.misses += 1;
+                T::default()
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list after resetting it (contents
+    /// cleared, capacity kept).
+    pub fn put(&mut self, mut v: T) {
+        v.reset();
+        self.free.push(v);
+    }
+
+    /// Buffers currently parked in the free list.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Hit/miss accounting since construction.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_capacity() {
+        let mut pool: Pool<Vec<f32>> = Pool::new();
+        let mut a = pool.get();
+        a.extend([1.0; 100]);
+        let cap = a.capacity();
+        pool.put(a);
+        let b = pool.get();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn preseeded_pool_only_hits_within_bound() {
+        let mut pool: Pool<Vec<u8>> = Pool::with_capacity(4);
+        assert_eq!(pool.idle(), 4);
+        let bufs: Vec<_> = (0..4).map(|_| pool.get()).collect();
+        assert_eq!(pool.stats().misses, 0);
+        for b in bufs {
+            pool.put(b);
+        }
+        assert_eq!(pool.idle(), 4);
+        // One past the bound is a miss.
+        let extra: Vec<Vec<u8>> = (0..5).map(|_| pool.get()).collect();
+        assert_eq!(pool.stats().misses, 1);
+        drop(extra);
+    }
+
+    #[test]
+    fn lifo_returns_most_recent() {
+        let mut pool: Pool<Vec<u8>> = Pool::new();
+        let mut a = pool.get();
+        a.reserve(1000);
+        let big_cap = a.capacity();
+        let b = pool.get(); // zero capacity
+        pool.put(b);
+        pool.put(a);
+        assert_eq!(pool.get().capacity(), big_cap, "hottest buffer first");
+    }
+}

@@ -1,5 +1,5 @@
 use cdma_compress::{windowed, Algorithm, Codec, CompressionStats, DecodeError};
-use cdma_gpusim::{OffloadSim, OffloadSimResult, SystemConfig};
+use cdma_gpusim::{DmaPipeline, OffloadSim, OffloadSimResult, SystemConfig};
 use cdma_tensor::Tensor;
 use cdma_vdnn::timeline::prefetch_seconds;
 
@@ -79,6 +79,42 @@ fn stream_lines(stream: &windowed::WindowedStream) -> impl Iterator<Item = (u32,
         .window_sizes()
         .enumerate()
         .map(|(i, c)| ((stream.window_elements(i) * 4) as u32, c as u32))
+}
+
+/// Reusable state for [`CdmaEngine::offload_into`]: one compressed-stream
+/// buffer plus one persistent [`DmaPipeline`], both recycled across
+/// offloads.
+///
+/// [`CdmaEngine::memcpy_compressed_reusing`] recycles the *stream*, but
+/// still builds a fresh discrete-event pipeline per call, whose schedule
+/// and in-flight queues regrow from empty every time — a steady
+/// allocation drip that a long-running service (one offload per request,
+/// thousands of requests per second) cannot afford. The scratch keeps the
+/// pipeline alive and [`DmaPipeline::reset`]s it instead, so repeated
+/// same-shape offloads allocate nothing (pinned by the workspace's
+/// counting-allocator test).
+#[derive(Debug, Clone)]
+pub struct OffloadScratch {
+    stream: windowed::WindowedStream,
+    pipeline: DmaPipeline,
+    cfg: SystemConfig,
+}
+
+impl OffloadScratch {
+    /// Scratch bound to `engine`'s platform configuration.
+    pub fn for_engine(engine: &CdmaEngine) -> Self {
+        OffloadScratch {
+            stream: windowed::WindowedStream::default(),
+            pipeline: DmaPipeline::new(engine.cfg),
+            cfg: engine.cfg,
+        }
+    }
+
+    /// The compressed stream of the most recent
+    /// [`CdmaEngine::offload_into`] call.
+    pub fn stream(&self) -> &windowed::WindowedStream {
+        &self.stream
+    }
 }
 
 impl CdmaEngine {
@@ -198,6 +234,33 @@ impl CdmaEngine {
         lines.clear();
         lines.extend(stream_lines(scratch));
         scratch.stats()
+    }
+
+    /// The fully-recycled offload: compresses `data` into the scratch's
+    /// stream and times the transfer on the scratch's persistent
+    /// [`DmaPipeline`] (reset, not reallocated). Numerically identical to
+    /// [`CdmaEngine::memcpy_compressed`] — same stream bytes, same
+    /// [`OffloadSimResult`] — but with **zero** steady-state allocation,
+    /// which makes it the entry point the `cdma-serve` request loop and
+    /// any other per-request caller should use.
+    ///
+    /// If the scratch was built for a different platform configuration,
+    /// its pipeline is rebuilt once (an allocation) and retained.
+    pub fn offload_into(
+        &self,
+        data: &[f32],
+        scratch: &mut OffloadScratch,
+    ) -> (CompressionStats, OffloadSimResult) {
+        if scratch.cfg != self.cfg {
+            scratch.pipeline = DmaPipeline::new(self.cfg);
+            scratch.cfg = self.cfg;
+        }
+        self.compress_windows(data, &mut scratch.stream);
+        scratch.pipeline.reset();
+        for (u, c) in stream_lines(&scratch.stream) {
+            scratch.pipeline.push_line(0.0, u, c);
+        }
+        (scratch.stream.stats(), scratch.pipeline.result())
     }
 
     /// The one window-compression dispatch: recompresses `data` into
@@ -392,6 +455,31 @@ mod tests {
         let cap = lines.capacity();
         engine.compress_lines_into(&data, &mut scratch, &mut lines);
         assert_eq!(lines.capacity(), cap);
+    }
+
+    #[test]
+    fn offload_into_matches_memcpy_compressed() {
+        let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+        let mut scratch = OffloadScratch::for_engine(&engine);
+        for n in [40_000usize, 25_000, 60_000] {
+            let data = sparse_data(35, n);
+            let fresh = engine.memcpy_compressed(&data);
+            let (stats, transfer) = engine.offload_into(&data, &mut scratch);
+            assert_eq!(stats, fresh.stats);
+            assert_eq!(transfer, fresh.transfer);
+            assert_eq!(scratch.stream().as_bytes(), fresh.stream().as_bytes());
+        }
+    }
+
+    #[test]
+    fn offload_into_rebinds_on_config_change() {
+        let data = sparse_data(40, 30_000);
+        let pcie = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+        let nvlink = CdmaEngine::zvc(SystemConfig::titan_x_nvlink());
+        let mut scratch = OffloadScratch::for_engine(&pcie);
+        pcie.offload_into(&data, &mut scratch);
+        let (_, via_scratch) = nvlink.offload_into(&data, &mut scratch);
+        assert_eq!(via_scratch, nvlink.memcpy_compressed(&data).transfer);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 mod cluster;
 mod density;
 mod grid;
+mod serving;
 mod system;
 mod timeline;
 mod training;
@@ -43,6 +44,7 @@ pub use grid::{
     fig03, fig11, fig12, fig13, headline, Fig03Report, Fig11Report, Fig11Row, Fig12Report,
     Fig12Row, Fig13Report, Fig13Row, Fig3Row, Headline, PerfConfig,
 };
+pub use serving::{serve_load, ServeLoadReport, ServePhase};
 pub use system::{
     ablations, energy, footprint, memory_usage, overheads, AblationsReport, EnergyReport,
     FootprintReport, MemoryUsageReport, OverheadsReport,
@@ -146,6 +148,10 @@ pub const CATALOGUE: &[ExperimentInfo] = &[
         name: "ablations",
         title: "Design ablations: window, COMP_BW, buffer, link, policy",
     },
+    ExperimentInfo {
+        name: "serve_load",
+        title: "cdma-serve: multi-tenant load harness — latency, sheds, fairness",
+    },
 ];
 
 /// The catalogue's experiment names, in run order.
@@ -181,6 +187,7 @@ pub fn run(
         "rnn_traffic" => Box::new(training::rnn_traffic(ctx)),
         "training_run" => Box::new(training::training_runs(ctx, runner, filter)),
         "ablations" => Box::new(system::ablations(ctx, runner)),
+        "serve_load" => Box::new(serving::serve_load(ctx)),
         _ => return None,
     })
 }
@@ -193,7 +200,7 @@ mod tests {
     #[test]
     fn catalogue_names_are_unique_and_dispatchable() {
         let names = names();
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
         for (i, n) in names.iter().enumerate() {
             assert!(!names[..i].contains(n), "duplicate {n}");
         }

@@ -44,6 +44,6 @@ pub mod measured;
 pub mod report;
 pub mod scenario;
 
-pub use engine::{CdmaEngine, CompressedCopy};
+pub use engine::{CdmaEngine, CompressedCopy, OffloadScratch};
 pub use report::Report;
 pub use scenario::{Context, Runner, Scenario, ScenarioFilter, ScenarioSet};

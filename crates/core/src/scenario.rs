@@ -527,6 +527,15 @@ impl Context {
         Context::with_kind(TableKind::Fast(0), Some(table))
     }
 
+    /// Whether this context was built for coarse/fast runs
+    /// ([`Context::fast`] or [`Context::with_table`]) rather than the
+    /// full-resolution grid — experiments with their own notion of
+    /// "smaller" (shorter load horizons, fewer sweep points) key off this
+    /// instead of growing a parallel flag.
+    pub fn is_fast(&self) -> bool {
+        matches!(self.table_kind, TableKind::Fast(_))
+    }
+
     /// The memoized ratio table (built on first use).
     pub fn ratio_table(&self) -> Arc<RatioTable> {
         if let Some(t) = &self.prebuilt_table {

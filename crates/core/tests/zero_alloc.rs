@@ -1,0 +1,69 @@
+//! Counting-allocator pin for the engine's offload hot path: after the
+//! first call warms the scratch's stream buffers and pipeline vectors,
+//! [`CdmaEngine::offload_into`] must allocate exactly zero bytes per
+//! offload — the fix for the per-call `DmaPipeline` rebuild that
+//! `memcpy_compressed_reusing` used to pay.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cdma_core::{CdmaEngine, OffloadScratch};
+use cdma_gpusim::SystemConfig;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+#[test]
+fn offload_into_steady_state_allocates_nothing() {
+    let engine = CdmaEngine::zvc(SystemConfig::titan_x_pcie3());
+    let mut scratch = OffloadScratch::for_engine(&engine);
+    // A layer-sized buffer, roughly half zeros (the paper's sweet spot).
+    let mut data = vec![0.0f32; 256 * 1024];
+    for (i, v) in data.iter_mut().enumerate() {
+        if i % 7 < 3 {
+            *v = (i % 251) as f32 + 0.5;
+        }
+    }
+
+    // Warm-up sizes the window stream and the pipeline's line vectors.
+    let warm = engine.offload_into(&data, &mut scratch);
+
+    let before = (ALLOCS.load(Ordering::SeqCst), BYTES.load(Ordering::SeqCst));
+    let mut last = warm;
+    for _ in 0..32 {
+        last = engine.offload_into(&data, &mut scratch);
+    }
+    let after = (ALLOCS.load(Ordering::SeqCst), BYTES.load(Ordering::SeqCst));
+
+    assert_eq!(
+        after, before,
+        "offload_into must allocate zero bytes per call after warm-up"
+    );
+    // And it keeps producing the same answer as the warm-up call.
+    assert_eq!(warm.0, last.0);
+    assert_eq!(warm.1.total_time, last.1.total_time);
+    assert_eq!(warm.1.compressed_bytes, last.1.compressed_bytes);
+}

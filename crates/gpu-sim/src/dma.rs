@@ -1,5 +1,6 @@
 use std::collections::VecDeque;
 
+use crate::staging;
 use crate::SystemConfig;
 
 /// Compression-window granularity of the offload pipeline (one 4 KB window
@@ -192,14 +193,18 @@ impl DmaPipeline {
         loop {
             self.retire(t);
             let occ = occupancy_at(&self.sched, self.head, t);
-            let need = self.reserved + occ + u - self.capacity;
-            if need <= 1e-9 {
+            // The single admission rule shared with the real-queue
+            // [`staging::StagingPool`]: in-flight uncompressed
+            // reservations plus resident compressed bytes plus the
+            // incoming line must fit the buffer.
+            let need = staging::shortfall(self.reserved, occ, u, self.capacity);
+            if need <= staging::ADMIT_TOLERANCE {
                 break;
             }
             let next_arrival = self.inflight.front().map(|&(ta, _)| ta);
-            // The byte tolerance absorbs rounding in `need` (computed via
-            // `reserved + occ + u - capacity`) at the exact-fit boundary.
-            if need <= occ + 1e-9 {
+            // The byte tolerance absorbs rounding in `need` at the
+            // exact-fit boundary.
+            if need <= occ + staging::ADMIT_TOLERANCE {
                 // Every arrived line's drain chains directly onto its
                 // predecessor's, so resident bytes leave back-to-back at
                 // the link rate and the shortfall is met after exactly
@@ -249,6 +254,25 @@ impl DmaPipeline {
             drain_start,
             drain_end,
         }
+    }
+
+    /// Returns the pipeline to its idle initial state while keeping the
+    /// capacity of its schedule and in-flight queues — so a long-running
+    /// caller (one offload per request, thousands of requests per second)
+    /// reruns transfers with zero per-run allocation. The platform
+    /// configuration is retained.
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+        self.t_read_free = 0.0;
+        self.drain_free = 0.0;
+        self.sched.clear();
+        self.head = 0;
+        self.inflight.clear();
+        self.reserved = 0.0;
+        self.max_occ = 0.0;
+        self.total_u = 0;
+        self.total_c = 0;
+        self.lines = 0;
     }
 
     /// Retires state up to time `now` and compacts the internal schedule so
@@ -595,6 +619,26 @@ mod tests {
         // frees.
         let c = pipe.push_line(0.0, 4096, 1024);
         assert!(c.issue >= b.read_done);
+    }
+
+    #[test]
+    fn reset_pipeline_matches_fresh_and_keeps_capacity() {
+        let lines: Vec<(u32, u32)> = (0..500).map(|i| (4096, 512 + (i % 7) * 512)).collect();
+        let fresh = OffloadSim::new(cfg()).run_lines(&lines);
+        let mut pipe = DmaPipeline::new(cfg());
+        for &(u, c) in &lines {
+            pipe.push_line(0.0, u, c);
+        }
+        assert_eq!(pipe.result(), fresh);
+        let cap = pipe.sched.capacity();
+        pipe.reset();
+        assert_eq!(pipe.result().total_time, 0.0);
+        assert_eq!(pipe.lines_pushed(), 0);
+        assert_eq!(pipe.sched.capacity(), cap, "reset keeps schedule storage");
+        for &(u, c) in &lines {
+            pipe.push_line(0.0, u, c);
+        }
+        assert_eq!(pipe.result(), fresh, "rerun after reset is bit-identical");
     }
 
     #[test]

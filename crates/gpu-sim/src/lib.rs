@@ -21,7 +21,12 @@
 //!   completion;
 //! * [`area`] — the FreePDK45-scaled engine area and CACTI-style buffer
 //!   area estimates (0.31 mm² + 0.21 mm² vs a 600 mm² die);
-//! * [`energy`] — the per-bit transfer-energy comparison of Section VII-C.
+//! * [`energy`] — the per-bit transfer-energy comparison of Section VII-C;
+//! * [`staging`] — the staging-buffer backpressure rule factored out of
+//!   [`DmaPipeline`] into a reusable form: the same worst-case
+//!   uncompressed-reservation policy, applied either to the simulated
+//!   clock (stall) or to real queue depths (`cdma-serve` sheds with a
+//!   typed overload error when the pool is exhausted).
 //!
 //! ```
 //! use cdma_gpusim::{OffloadSim, SystemConfig};
@@ -44,6 +49,7 @@ pub mod dram_store;
 pub mod energy;
 mod engine;
 pub mod pipeline;
+pub mod staging;
 
 pub use config::{LinkKind, SystemConfig};
 pub use dma::{DmaPipeline, LineSchedule, OffloadSim, OffloadSimResult, LINE_BYTES};

@@ -1,0 +1,246 @@
+//! The staging-buffer backpressure policy, factored out of the
+//! discrete-event pipeline so it can govern *real* queues.
+//!
+//! Section V-C sizes the DMA staging buffer for the worst case: the engine
+//! "does not know a priori which responses will be compressed or not", so
+//! every outstanding request must reserve its full **uncompressed**
+//! footprint up front, and a new request is admitted only if the
+//! reservations plus the bytes already resident still fit the buffer.
+//! [`DmaPipeline`](crate::DmaPipeline) applies this rule on its simulated
+//! clock (stalling the read stream); `cdma-serve` applies the same rule to
+//! live per-tenant queues (shedding requests with a typed overload error).
+//! Both call [`shortfall`] — the rule exists in exactly one place.
+
+/// Admission slack absorbing floating-point rounding at the exact-fit
+/// boundary (in bytes — far below any real line size).
+pub const ADMIT_TOLERANCE: f64 = 1e-9;
+
+/// How many bytes over budget admitting `incoming` would put the staging
+/// buffer: `reserved + occupancy + incoming - capacity`.
+///
+/// A result at or below [`ADMIT_TOLERANCE`] means the request fits and may
+/// be admitted; a positive result is the number of bytes that must drain
+/// (or have their uncompressed reservations swapped for compressed
+/// arrivals) first. All operands are bytes; `reserved` is the sum of
+/// uncompressed footprints of in-flight requests, `occupancy` the
+/// compressed bytes already resident.
+#[inline]
+pub fn shortfall(reserved: f64, occupancy: f64, incoming: f64, capacity: f64) -> f64 {
+    reserved + occupancy + incoming - capacity
+}
+
+/// Why a request could not be admitted: the staging pool was genuinely
+/// full at the instant of the check.
+///
+/// Carries the exact accounting so callers (and the admission-control
+/// property tests) can verify the shed was justified:
+/// `in_use + needed > capacity` always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagingFull {
+    /// Uncompressed bytes the rejected request would have reserved.
+    pub needed: u64,
+    /// Bytes already reserved in the pool at the time of the check.
+    pub in_use: u64,
+    /// Pool capacity in bytes.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for StagingFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "staging pool full: {} bytes needed, {}/{} in use",
+            self.needed, self.in_use, self.capacity
+        )
+    }
+}
+
+/// A bounded byte-reservation pool: the staging-buffer backpressure model
+/// applied to real queue depths.
+///
+/// Where [`DmaPipeline`](crate::DmaPipeline) *stalls* an issuing read
+/// until the rule admits it, a server cannot stall an open-loop client —
+/// it must answer immediately. `StagingPool` therefore turns the same
+/// admission rule into an accept/shed decision: [`StagingPool::admit`]
+/// reserves the request's full uncompressed footprint or fails with a
+/// [`StagingFull`] carrying the exact accounting, and
+/// [`StagingPool::release`] returns the footprint when the request
+/// completes. Plain integer state — callers wrap it in their own lock.
+///
+/// ```
+/// use cdma_gpusim::staging::StagingPool;
+///
+/// let mut pool = StagingPool::new(8192);
+/// pool.admit(4096).unwrap();
+/// pool.admit(4096).unwrap();
+/// let full = pool.admit(1).unwrap_err();
+/// assert_eq!(full.in_use, 8192);
+/// pool.release(4096);
+/// assert!(pool.admit(1).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StagingPool {
+    capacity: u64,
+    reserved: u64,
+    high_water: u64,
+}
+
+impl StagingPool {
+    /// An empty pool of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "staging pool capacity must be positive");
+        StagingPool {
+            capacity,
+            reserved: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Reserves `uncompressed` bytes, or reports exactly why it cannot.
+    ///
+    /// The decision is [`shortfall`] on integer bytes: admission succeeds
+    /// iff `reserved + uncompressed <= capacity` (a pool tracks no
+    /// separate drained-occupancy term — a served request releases its
+    /// whole footprint at once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StagingFull`] with the pool accounting at the instant of
+    /// the check when the request does not fit.
+    pub fn admit(&mut self, uncompressed: u64) -> Result<(), StagingFull> {
+        if shortfall(
+            self.reserved as f64,
+            0.0,
+            uncompressed as f64,
+            self.capacity as f64,
+        ) > ADMIT_TOLERANCE
+        {
+            return Err(StagingFull {
+                needed: uncompressed,
+                in_use: self.reserved,
+                capacity: self.capacity,
+            });
+        }
+        self.reserved += uncompressed;
+        self.high_water = self.high_water.max(self.reserved);
+        Ok(())
+    }
+
+    /// Returns a completed request's reservation to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uncompressed` exceeds the bytes currently reserved (a
+    /// release must pair with an earlier [`StagingPool::admit`]).
+    pub fn release(&mut self, uncompressed: u64) {
+        assert!(
+            uncompressed <= self.reserved,
+            "releasing {uncompressed} bytes but only {} reserved",
+            self.reserved
+        );
+        self.reserved -= uncompressed;
+    }
+
+    /// Bytes currently reserved.
+    pub fn in_use(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Highest reservation level ever observed — the real-queue analogue
+    /// of [`OffloadSimResult::max_buffer_occupancy`](crate::OffloadSimResult::max_buffer_occupancy).
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortfall_matches_fit_rule() {
+        assert!(shortfall(0.0, 0.0, 100.0, 100.0) <= ADMIT_TOLERANCE);
+        assert!(shortfall(1.0, 0.0, 100.0, 100.0) > ADMIT_TOLERANCE);
+        assert_eq!(shortfall(50.0, 25.0, 50.0, 100.0), 25.0);
+    }
+
+    #[test]
+    fn pool_admits_to_exact_capacity() {
+        let mut pool = StagingPool::new(100);
+        pool.admit(60).unwrap();
+        pool.admit(40).unwrap();
+        assert_eq!(pool.in_use(), 100);
+        let full = pool.admit(1).unwrap_err();
+        assert_eq!(
+            full,
+            StagingFull {
+                needed: 1,
+                in_use: 100,
+                capacity: 100
+            }
+        );
+        // A failed admission reserves nothing.
+        assert_eq!(pool.in_use(), 100);
+    }
+
+    #[test]
+    fn release_reopens_capacity_and_tracks_high_water() {
+        let mut pool = StagingPool::new(100);
+        pool.admit(80).unwrap();
+        pool.release(50);
+        assert_eq!(pool.in_use(), 30);
+        pool.admit(70).unwrap();
+        assert_eq!(pool.high_water(), 100);
+        pool.release(100);
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.high_water(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 10 reserved")]
+    fn unpaired_release_panics() {
+        let mut pool = StagingPool::new(100);
+        pool.admit(10).unwrap();
+        pool.release(11);
+    }
+
+    #[test]
+    fn every_rejection_is_justified() {
+        // The (b) admission-control invariant in its purest form: a shed
+        // implies the pool genuinely could not hold the request.
+        let mut pool = StagingPool::new(1000);
+        let mut state = 0x5EEDu64;
+        let mut lcg = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut live: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            if lcg() % 3 == 0 && !live.is_empty() {
+                let idx = (lcg() as usize) % live.len();
+                pool.release(live.swap_remove(idx));
+            } else {
+                let want = 1 + lcg() % 600;
+                match pool.admit(want) {
+                    Ok(()) => live.push(want),
+                    Err(full) => {
+                        assert_eq!(full.in_use, live.iter().sum::<u64>());
+                        assert!(full.in_use + full.needed > full.capacity);
+                    }
+                }
+            }
+            assert!(pool.in_use() <= pool.capacity());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Typed rejection reasons for the service's admission control.
+
+use crate::proto::TenantId;
+use cdma_gpusim::staging::StagingFull;
+
+/// Why a [`Request`](crate::proto::Request) was not accepted.
+///
+/// Every variant is a *shed*, not a failure: the request was never
+/// admitted, no staging bytes were reserved, and the caller gets the
+/// request back untouched to retry or drop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The shared staging pool could not hold the request's uncompressed
+    /// footprint — the paper's staging-buffer backpressure surfacing as a
+    /// load-shedding error instead of a pipeline stall.
+    Overloaded(StagingFull),
+    /// The tenant's own bounded queue is at its configured depth.
+    QueueFull {
+        /// Tenant whose queue is full.
+        tenant: TenantId,
+        /// The configured depth it is sitting at.
+        depth: usize,
+    },
+    /// Admitting the request would push the tenant past its byte quota.
+    QuotaExceeded {
+        /// Tenant over budget.
+        tenant: TenantId,
+        /// Uncompressed bytes the tenant has already submitted.
+        used: u64,
+        /// The tenant's configured quota in bytes.
+        quota: u64,
+        /// Uncompressed footprint of the rejected request.
+        requested: u64,
+    },
+    /// The request names a tenant the server was not configured with.
+    UnknownTenant(TenantId),
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded(full) => write!(f, "overloaded: {full}"),
+            ServeError::QueueFull { tenant, depth } => {
+                write!(f, "{tenant} queue full at depth {depth}")
+            }
+            ServeError::QuotaExceeded {
+                tenant,
+                used,
+                quota,
+                requested,
+            } => write!(
+                f,
+                "{tenant} quota exceeded: {used}+{requested} of {quota} bytes"
+            ),
+            ServeError::UnknownTenant(t) => write!(f, "unknown {t}"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_accounting() {
+        let e = ServeError::Overloaded(StagingFull {
+            needed: 4096,
+            in_use: 60_000,
+            capacity: 61_440,
+        });
+        let s = e.to_string();
+        assert!(s.contains("4096") && s.contains("61440"));
+        let q = ServeError::QuotaExceeded {
+            tenant: TenantId(2),
+            used: 100,
+            quota: 128,
+            requested: 64,
+        }
+        .to_string();
+        assert!(q.contains("tenant#2") && q.contains("128"));
+    }
+}

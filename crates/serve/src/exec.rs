@@ -1,0 +1,152 @@
+//! The shared job-execution kernel: one [`Request`] in, one [`Response`]
+//! out, using only caller-supplied (recycled) output buffers.
+//!
+//! Both drivers — the threaded server's workers and the virtual-time
+//! simulator — call [`execute`], so the bytes a job produces are
+//! identical whichever driver ran it.
+
+use cdma_compress::{Codec, Compressor};
+
+use crate::proto::{JobKind, Request, Response};
+
+/// Recycled output buffers for one job execution.
+#[derive(Debug, Default)]
+pub(crate) struct OutputBufs {
+    pub bytes: Vec<u8>,
+    pub offsets: Vec<u32>,
+    pub words: Vec<f32>,
+}
+
+impl cdma_compress::pool::Reusable for OutputBufs {
+    fn reset(&mut self) {
+        self.bytes.clear();
+        self.offsets.clear();
+        self.words.clear();
+    }
+}
+
+/// Runs `req` to completion. Compress requests are windowed at
+/// `window_elems` activation words per window (the paper's 4 KB windows
+/// at the default config) and packed back to back with an offset table;
+/// decompress requests recover the original words. Output travels in the
+/// buffers of `bufs`; the request's own input buffers are moved into the
+/// response for recycling by the caller.
+pub(crate) fn execute(
+    mut req: Request,
+    codec: &Codec,
+    window_elems: usize,
+    bufs: OutputBufs,
+) -> Response {
+    debug_assert!(window_elems > 0);
+    let OutputBufs {
+        mut bytes,
+        mut offsets,
+        mut words,
+    } = bufs;
+    bytes.clear();
+    offsets.clear();
+    words.clear();
+    let mut error = None;
+    let (uncompressed_bytes, wire_bytes) = match req.kind {
+        JobKind::Compress => {
+            offsets.push(0);
+            for window in req.words.chunks(window_elems) {
+                codec.compress_append(window, &mut bytes);
+                offsets.push(bytes.len() as u32);
+            }
+            ((req.words.len() * 4) as u64, bytes.len() as u64)
+        }
+        JobKind::Decompress => {
+            if let Err(e) = codec.decompress_append(&req.bytes, req.elements as usize, &mut words) {
+                words.clear();
+                error = Some(e);
+            }
+            (u64::from(req.elements) * 4, req.bytes.len() as u64)
+        }
+    };
+    Response {
+        tenant: req.tenant,
+        id: req.id,
+        kind: req.kind,
+        bytes,
+        offsets,
+        words,
+        uncompressed_bytes,
+        wire_bytes,
+        error,
+        input_words: std::mem::take(&mut req.words),
+        input_bytes: std::mem::take(&mut req.bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::TenantId;
+    use cdma_compress::Algorithm;
+
+    #[test]
+    fn compress_then_decompress_roundtrips_per_window() {
+        let codec = Algorithm::Zvc.codec();
+        let data: Vec<f32> = (0..3000)
+            .map(|i| if i % 3 == 0 { 0.0 } else { i as f32 })
+            .collect();
+        let req = Request::compress(TenantId(0), 1, Algorithm::Zvc, data.clone());
+        let resp = execute(req, &codec, 1024, OutputBufs::default());
+        assert!(resp.error.is_none());
+        assert_eq!(resp.uncompressed_bytes, 12_000);
+        assert_eq!(resp.wire_bytes, resp.bytes.len() as u64);
+        // 3000 words at 1024/window => 3 windows, 4 offsets.
+        assert_eq!(resp.offsets.len(), 4);
+        assert_eq!(resp.offsets[0], 0);
+        assert_eq!(*resp.offsets.last().unwrap() as usize, resp.bytes.len());
+        // Input buffer came back for recycling.
+        assert_eq!(resp.input_words, data);
+        // Each window decompresses back.
+        let mut recovered = Vec::new();
+        for (w, pair) in resp.offsets.windows(2).enumerate() {
+            let slice = &resp.bytes[pair[0] as usize..pair[1] as usize];
+            let n = (data.len() - w * 1024).min(1024);
+            let dreq =
+                Request::decompress(TenantId(0), 2, Algorithm::Zvc, slice.to_vec(), n as u32);
+            let dresp = execute(dreq, &codec, 1024, OutputBufs::default());
+            assert!(dresp.error.is_none());
+            recovered.extend_from_slice(&dresp.words);
+        }
+        assert_eq!(recovered, data);
+    }
+
+    #[test]
+    fn corrupt_stream_reports_error_not_panic() {
+        let codec = Algorithm::Zvc.codec();
+        let req = Request::decompress(TenantId(0), 1, Algorithm::Zvc, vec![0xFF; 3], 1024);
+        let resp = execute(req, &codec, 1024, OutputBufs::default());
+        assert!(resp.error.is_some());
+        assert!(resp.words.is_empty());
+    }
+
+    #[test]
+    fn reuses_buffer_capacity() {
+        let codec = Algorithm::Zvc.codec();
+        let data = vec![1.0f32; 2048];
+        let r1 = execute(
+            Request::compress(TenantId(0), 1, Algorithm::Zvc, data.clone()),
+            &codec,
+            1024,
+            OutputBufs::default(),
+        );
+        let caps = (r1.bytes.capacity(), r1.offsets.capacity());
+        let bufs = OutputBufs {
+            bytes: r1.bytes,
+            offsets: r1.offsets,
+            words: r1.words,
+        };
+        let r2 = execute(
+            Request::compress(TenantId(0), 2, Algorithm::Zvc, data),
+            &codec,
+            1024,
+            bufs,
+        );
+        assert!(r2.bytes.capacity() >= caps.0 && r2.offsets.capacity() >= caps.1);
+    }
+}

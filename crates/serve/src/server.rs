@@ -1,0 +1,587 @@
+//! The thread-per-core worker pool: the engine as a long-running service.
+//!
+//! Layout mirrors the paper's DMA engine turned inside out for a host
+//! service:
+//!
+//! * **Admission** — one [`TenantScheduler`] + [`StagingPool`] behind a
+//!   single mutex answers accept/shed at submit time (the staging-buffer
+//!   backpressure model applied to real queue depths).
+//! * **Dispatch** — workers pull jobs from the scheduler in small batches
+//!   (amortising the lock) into per-worker deques, and **steal** from the
+//!   back of each other's deques when their own runs dry, so one slow
+//!   tenant's burst cannot idle the pool.
+//! * **Execution** — the shared `exec::execute` kernel with output buffers
+//!   recycled through [`Pool`]s, so the steady state allocates nothing
+//!   per request.
+//!
+//! Completions land in a shared vector drained by the client
+//! ([`Server::drain_completions`]); [`Server::recycle`] closes the buffer
+//! loop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cdma_compress::pool::{Pool, PoolStats};
+use cdma_compress::Algorithm;
+use cdma_gpusim::staging::StagingPool;
+use cdma_vdnn::LinkPolicy;
+
+use crate::error::ServeError;
+use crate::exec::{self, OutputBufs};
+use crate::proto::{Request, Response};
+use crate::sched::{Job, TenantScheduler, TenantSpec};
+
+/// Static configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Codec applied to every job.
+    pub algorithm: Algorithm,
+    /// Window size for compress jobs, in bytes (the paper evaluates 4 KB).
+    pub window_bytes: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Fairness policy across tenants.
+    pub policy: LinkPolicy,
+    /// Shared staging-pool capacity in bytes — the admission-control
+    /// budget every in-flight request reserves its uncompressed footprint
+    /// from.
+    pub staging_bytes: u64,
+    /// Jobs a worker pulls from the scheduler per lock acquisition.
+    pub dispatch_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            algorithm: Algorithm::Zvc,
+            window_bytes: 4096,
+            workers: 4,
+            policy: LinkPolicy::BandwidthShare,
+            // Sixteen default staging buffers' worth (Section V-C sizes
+            // one engine's buffer at 70 KB): room for ~280 four-KB
+            // windows in flight.
+            staging_bytes: 16 * 70 * 1024,
+            dispatch_batch: 4,
+        }
+    }
+}
+
+/// One finished job, as drained by the client.
+#[derive(Debug)]
+pub struct Completion {
+    /// The job's result (with the request's input buffers inside, ready
+    /// for [`Server::recycle`]).
+    pub response: Response,
+    /// Submit time, seconds since server start.
+    pub arrival_s: f64,
+    /// Completion time, seconds since server start.
+    pub finished_s: f64,
+}
+
+impl Completion {
+    /// Queue + service latency in seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.finished_s - self.arrival_s
+    }
+}
+
+/// Lifetime statistics returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerStats {
+    /// Jobs moved between workers by stealing.
+    pub steals: u64,
+    /// Output-buffer pool accounting; a warm steady state stops missing.
+    pub buffer_pool: PoolStats,
+    /// Staging-pool high-water mark in bytes.
+    pub staging_high_water: u64,
+}
+
+struct SchedState {
+    sched: TenantScheduler,
+    pool: StagingPool,
+}
+
+struct Shared {
+    config: ServerConfig,
+    start: Instant,
+    state: Mutex<SchedState>,
+    /// Signalled on every admit; workers park here when idle.
+    work_cv: Condvar,
+    /// Per-worker deques: owner pops the front, thieves pop the back.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    completions: Mutex<Vec<Completion>>,
+    /// Signalled on every completion; [`Server::wait_drained`] parks here.
+    done_cv: Condvar,
+    /// Admitted jobs not yet in `completions`.
+    outstanding: AtomicUsize,
+    shutdown: AtomicBool,
+    steals: AtomicU64,
+    out_pool: Mutex<Pool<OutputBufs>>,
+}
+
+impl Shared {
+    fn finish(&self, job_tenant: u16, footprint: u64, arrival_s: f64, response: Response) {
+        let finished_s = self.start.elapsed().as_secs_f64();
+        {
+            let mut st = self.state.lock().unwrap();
+            st.pool.release(footprint);
+            st.sched
+                .complete(job_tenant, response.uncompressed_bytes, response.wire_bytes);
+        }
+        let mut done = self.completions.lock().unwrap();
+        done.push(Completion {
+            response,
+            arrival_s,
+            finished_s,
+        });
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        drop(done);
+        self.done_cv.notify_all();
+    }
+
+    fn run_job(&self, job: Job) {
+        let mut job = job;
+        let req = job.req.take().expect("job carries its request");
+        let bufs = self.out_pool.lock().unwrap().get();
+        let window_elems = (self.config.window_bytes / 4).max(1);
+        // Codec choice travels in the frame; static dispatch makes this a
+        // jump, not an allocation.
+        let codec = req.algorithm.codec();
+        let response = exec::execute(req, &codec, window_elems, bufs);
+        self.finish(job.tenant, job.footprint, job.arrival_s, response);
+    }
+
+    /// Pulls up to `dispatch_batch` jobs; runs the first inline, parks the
+    /// rest in the worker's own deque. Returns whether anything ran.
+    fn pull_and_run(&self, me: usize) -> bool {
+        let mut batch: Option<Job> = None;
+        {
+            let mut st = self.state.lock().unwrap();
+            if let Some(first) = st.sched.pop_next() {
+                batch = Some(first);
+                let mut mine = self.deques[me].lock().unwrap();
+                for _ in 1..self.config.dispatch_batch {
+                    match st.sched.pop_next() {
+                        Some(j) => mine.push_back(j),
+                        None => break,
+                    }
+                }
+            }
+        }
+        match batch {
+            Some(job) => {
+                // Others may be parked while our deque has the overflow.
+                self.work_cv.notify_one();
+                self.run_job(job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>, me: usize) {
+        loop {
+            // 1. Own deque, front (FIFO within a worker).
+            let own = self.deques[me].lock().unwrap().pop_front();
+            if let Some(job) = own {
+                self.run_job(job);
+                continue;
+            }
+            // 2. The scheduler (fairness decisions live there).
+            if self.pull_and_run(me) {
+                continue;
+            }
+            // 3. Steal from the back of a sibling's deque.
+            let n = self.deques.len();
+            let stolen = (0..n)
+                .filter(|&i| i != me)
+                .find_map(|i| self.deques[(me + 1 + i) % n].lock().unwrap().pop_back());
+            if let Some(job) = stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.run_job(job);
+                continue;
+            }
+            // 4. Nothing anywhere: exit on shutdown, else park briefly.
+            let st = self.state.lock().unwrap();
+            if st.sched.backlog() == 0 && self.shutdown.load(Ordering::Acquire) {
+                // Deques might still hold work parked by a sibling that
+                // died between our checks; re-verify before exiting.
+                drop(st);
+                if self.deques.iter().all(|d| d.lock().unwrap().is_empty()) {
+                    return;
+                }
+                continue;
+            }
+            let _ = self
+                .work_cv
+                .wait_timeout(st, Duration::from_millis(1))
+                .unwrap();
+        }
+    }
+}
+
+/// The multi-tenant compression-offload service.
+///
+/// ```
+/// use cdma_compress::Algorithm;
+/// use cdma_serve::{Request, Server, ServerConfig, TenantId, TenantSpec};
+///
+/// let server = Server::start(
+///     ServerConfig { workers: 2, ..ServerConfig::default() },
+///     vec![TenantSpec::new("trainer")],
+/// );
+/// let words = vec![0.0f32; 1024];
+/// server.submit(Request::compress(TenantId(0), 1, Algorithm::Zvc, words)).unwrap();
+/// server.wait_drained();
+/// let mut done = Vec::new();
+/// server.drain_completions(&mut done);
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].response.wire_bytes < 4096, "zeros compress");
+/// server.shutdown();
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool over the given tenant table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero worker count, zero dispatch batch, a window under
+    /// 4 bytes, or an empty/oversized tenant table.
+    pub fn start(config: ServerConfig, tenants: Vec<TenantSpec>) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.dispatch_batch > 0, "dispatch batch must be positive");
+        assert!(
+            config.window_bytes >= 4,
+            "window must hold at least one word"
+        );
+        let sched = TenantScheduler::new(tenants, config.policy);
+        let pool = StagingPool::new(config.staging_bytes);
+        // Enough buffer sets for every admissible 4 KB-window job plus
+        // one in flight per worker, so a bounded steady state never
+        // misses the pool.
+        let max_live =
+            (config.staging_bytes / config.window_bytes.max(1) as u64) as usize + config.workers;
+        let shared = Arc::new(Shared {
+            start: Instant::now(),
+            state: Mutex::new(SchedState { sched, pool }),
+            work_cv: Condvar::new(),
+            deques: (0..config.workers)
+                .map(|_| Mutex::new(VecDeque::with_capacity(config.dispatch_batch * 2)))
+                .collect(),
+            completions: Mutex::new(Vec::with_capacity(max_live)),
+            done_cv: Condvar::new(),
+            outstanding: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            out_pool: Mutex::new(Pool::with_capacity(config.workers * 2)),
+            config,
+        });
+        let handles = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("cdma-serve-{i}"))
+                    .spawn(move || shared.worker_loop(i))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server { shared, handles }
+    }
+
+    /// Seconds since the server started (the clock completions are
+    /// stamped on).
+    pub fn now_s(&self) -> f64 {
+        self.shared.start.elapsed().as_secs_f64()
+    }
+
+    /// Offers a request to admission control. On acceptance the request's
+    /// footprint is reserved and a worker will pick it up; on a shed the
+    /// request comes back untouched with the typed reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shed reason and the original request.
+    pub fn submit(&self, req: Request) -> Result<u64, (ServeError, Request)> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err((ServeError::ShuttingDown, req));
+        }
+        let arrival_s = self.now_s();
+        let seq = {
+            let mut st = self.shared.state.lock().unwrap();
+            let SchedState { sched, pool } = &mut *st;
+            sched.try_enqueue(req, arrival_s, pool)?
+        };
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.shared.work_cv.notify_one();
+        Ok(seq)
+    }
+
+    /// Moves all finished jobs into `out` (appending; `out` is not
+    /// cleared). Pre-reserve `out` to keep the drain allocation-free.
+    pub fn drain_completions(&self, out: &mut Vec<Completion>) {
+        let mut done = self.shared.completions.lock().unwrap();
+        out.append(&mut done);
+    }
+
+    /// Admitted jobs not yet drained into a completion.
+    pub fn outstanding(&self) -> usize {
+        self.shared.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Blocks until every admitted job has completed.
+    pub fn wait_drained(&self) {
+        let mut done = self.shared.completions.lock().unwrap();
+        while self.shared.outstanding.load(Ordering::Acquire) > 0 {
+            let (guard, _) = self
+                .shared
+                .done_cv
+                .wait_timeout(done, Duration::from_millis(1))
+                .unwrap();
+            done = guard;
+        }
+    }
+
+    /// Returns a response's output buffers to the server's pool and hands
+    /// the request's input buffers back to the caller — the two halves of
+    /// the zero-allocation loop.
+    pub fn recycle(&self, mut response: Response) -> (Vec<f32>, Vec<u8>) {
+        let input_words = std::mem::take(&mut response.input_words);
+        let input_bytes = std::mem::take(&mut response.input_bytes);
+        let bufs = OutputBufs {
+            bytes: response.bytes,
+            offsets: response.offsets,
+            words: response.words,
+        };
+        self.shared.out_pool.lock().unwrap().put(bufs);
+        (input_words, input_bytes)
+    }
+
+    /// Per-tenant counters so far.
+    pub fn counters(&self, tenant: crate::proto::TenantId) -> Option<crate::sched::TenantCounters> {
+        self.shared.state.lock().unwrap().sched.counters(tenant)
+    }
+
+    /// Staging-pool high-water mark in bytes.
+    pub fn staging_high_water(&self) -> u64 {
+        self.shared.state.lock().unwrap().pool.high_water()
+    }
+
+    /// Stops accepting work, drains the backlog, joins the workers, and
+    /// returns lifetime statistics.
+    pub fn shutdown(self) -> ServerStats {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for h in self.handles {
+            // Workers re-check the flag at most one park interval later.
+            self.shared.work_cv.notify_all();
+            h.join().expect("worker panicked");
+        }
+        let st = self.shared.state.lock().unwrap();
+        ServerStats {
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            buffer_pool: self.shared.out_pool.lock().unwrap().stats(),
+            staging_high_water: st.pool.high_water(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.shared.config.workers)
+            .field("outstanding", &self.outstanding())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::fill_activations;
+    use crate::proto::TenantId;
+    use cdma_compress::Compressor;
+
+    fn words(n: usize, seed: u64) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        fill_activations(seed, 0.6, &mut v);
+        v
+    }
+
+    #[test]
+    fn serves_and_roundtrips_under_concurrency() {
+        let server = Server::start(
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+            vec![TenantSpec::new("a"), TenantSpec::new("b").weight(2.0)],
+        );
+        let mut originals = std::collections::HashMap::new();
+        let mut id = 0u64;
+        for round in 0..50 {
+            for t in 0..2u16 {
+                let w = words(1024, round * 2 + t as u64);
+                originals.insert((t, id), w.clone());
+                server
+                    .submit(Request::compress(TenantId(t), id, Algorithm::Zvc, w))
+                    .unwrap();
+                id += 1;
+            }
+        }
+        server.wait_drained();
+        let mut done = Vec::new();
+        server.drain_completions(&mut done);
+        assert_eq!(done.len(), 100);
+        // Every response decompresses back to its original words.
+        let codec = Algorithm::Zvc.codec();
+        for c in &done {
+            let orig = &originals[&(c.response.tenant.0, c.response.id)];
+            let mut back = Vec::new();
+            for pair in c.response.offsets.windows(2) {
+                codec
+                    .decompress_append(
+                        &c.response.bytes[pair[0] as usize..pair[1] as usize],
+                        1024,
+                        &mut back,
+                    )
+                    .unwrap();
+            }
+            assert_eq!(&back, orig);
+            assert!(c.latency_s() >= 0.0);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.staging_high_water % 4096, 0);
+    }
+
+    #[test]
+    fn shed_when_staging_pool_exhausted() {
+        // One worker, a pool of two 4 KB windows, and the deliberately
+        // slow Zlib codec: the submit loop outruns service by orders of
+        // magnitude, so the open-loop burst must hit a full pool.
+        let server = Server::start(
+            ServerConfig {
+                workers: 1,
+                staging_bytes: 8192,
+                algorithm: Algorithm::Zlib,
+                ..ServerConfig::default()
+            },
+            vec![TenantSpec::new("t")],
+        );
+        let mut accepted = 0;
+        let mut shed = 0;
+        for i in 0..256 {
+            match server.submit(Request::compress(
+                TenantId(0),
+                i,
+                Algorithm::Zlib,
+                vec![1.0; 1024],
+            )) {
+                Ok(_) => accepted += 1,
+                Err((ServeError::Overloaded(full), _)) => {
+                    shed += 1;
+                    assert!(full.in_use + full.needed > full.capacity);
+                }
+                Err((other, _)) => panic!("unexpected shed reason {other}"),
+            }
+        }
+        assert!(accepted >= 2, "pool holds two windows");
+        assert!(shed > 0, "open-loop burst must shed on a tiny pool");
+        server.wait_drained();
+        // Released capacity readmits.
+        server
+            .submit(Request::compress(
+                TenantId(0),
+                999,
+                Algorithm::Zvc,
+                vec![1.0; 1024],
+            ))
+            .unwrap();
+        server.wait_drained();
+        let c = server.counters(TenantId(0)).unwrap();
+        assert_eq!(c.accepted, accepted + 1);
+        assert_eq!(c.completed, accepted + 1);
+        assert_eq!(c.shed_staging, shed);
+        server.shutdown();
+    }
+
+    #[test]
+    fn recycle_closes_the_buffer_loop() {
+        let server = Server::start(
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            vec![TenantSpec::new("t")],
+        );
+        let mut input = words(1024, 1);
+        let mut done = Vec::new();
+        for i in 0..32 {
+            server
+                .submit(Request::compress(TenantId(0), i, Algorithm::Zvc, input))
+                .unwrap();
+            server.wait_drained();
+            done.clear();
+            server.drain_completions(&mut done);
+            assert_eq!(done.len(), 1);
+            let (w, _b) = server.recycle(done.pop().unwrap().response);
+            input = w;
+            assert_eq!(input.len(), 1024, "input words come back intact");
+        }
+        let stats = server.shutdown();
+        // Pre-seeded pool: the sequential loop never misses.
+        assert_eq!(stats.buffer_pool.misses, 0);
+        server_stats_sanity(stats);
+    }
+
+    fn server_stats_sanity(stats: ServerStats) {
+        assert!(stats.staging_high_water >= 4096);
+    }
+
+    #[test]
+    fn rejects_after_shutdown() {
+        let server = Server::start(ServerConfig::default(), vec![TenantSpec::new("t")]);
+        let shared = Arc::clone(&server.shared);
+        shared.shutdown.store(true, Ordering::Release);
+        let err = server
+            .submit(Request::compress(
+                TenantId(0),
+                0,
+                Algorithm::Zvc,
+                vec![1.0; 8],
+            ))
+            .unwrap_err();
+        assert_eq!(err.0, ServeError::ShuttingDown);
+        shared.shutdown.store(false, Ordering::Release);
+        server.shutdown();
+    }
+
+    #[test]
+    fn decompress_requests_flow_through() {
+        let codec = Algorithm::Zvc.codec();
+        let original = words(1024, 7);
+        let stream = codec.compress(&original);
+        let server = Server::start(ServerConfig::default(), vec![TenantSpec::new("t")]);
+        server
+            .submit(Request::decompress(
+                TenantId(0),
+                5,
+                Algorithm::Zvc,
+                stream,
+                1024,
+            ))
+            .unwrap();
+        server.wait_drained();
+        let mut done = Vec::new();
+        server.drain_completions(&mut done);
+        assert_eq!(done[0].response.words, original);
+        assert!(done[0].response.error.is_none());
+        server.shutdown();
+    }
+}

@@ -1,0 +1,361 @@
+//! The deterministic virtual-time driver.
+//!
+//! Replays a [`Schedule`] through the *same* admission control
+//! ([`TenantScheduler`] + [`StagingPool`]) and the *same* execution
+//! kernel (`exec::execute`) as the threaded server, but on a
+//! simulated clock: service time comes from a [`ServiceModel`] instead
+//! of the host's scheduler, so every accept/shed decision, byte count,
+//! and latency percentile is a pure function of `(config, loads,
+//! horizon, seed)`. CI leans on this — run the harness twice, `cmp` the
+//! summaries — and so do the admission-control property tests, which
+//! need to provoke overload without depending on how fast the test
+//! machine happens to be.
+//!
+//! Compression still *really runs* (wire bytes in the report are
+//! measured, not modeled); only the clock is simulated.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use cdma_compress::pool::Pool;
+use cdma_gpusim::staging::StagingPool;
+
+use crate::exec::{self, OutputBufs};
+use crate::loadgen::{fill_activations, Schedule, TenantLoad};
+use crate::metrics::{LatencyRecorder, LoadReport, TenantLoadReport};
+use crate::proto::{Request, TenantId};
+use crate::sched::TenantScheduler;
+use crate::server::ServerConfig;
+
+/// First-order service-time model for the virtual clock:
+/// `per_request_s + footprint_bytes / bytes_per_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceModel {
+    /// Streaming compression bandwidth of one worker, bytes/second.
+    pub bytes_per_s: f64,
+    /// Fixed per-request overhead (dispatch, locking), seconds.
+    pub per_request_s: f64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        // A software ZVC worker sustains a few GB/s; 2 GB/s + 2 µs is a
+        // conservative mid-range host core.
+        ServiceModel {
+            bytes_per_s: 2e9,
+            per_request_s: 2e-6,
+        }
+    }
+}
+
+impl ServiceModel {
+    /// Modeled service time for one request of `footprint` bytes.
+    pub fn service_s(&self, footprint: u64) -> f64 {
+        self.per_request_s + footprint as f64 / self.bytes_per_s
+    }
+}
+
+/// A completion event on the virtual clock. Ordered by `(time, seq)`
+/// via `total_cmp`, so heap order — and therefore the whole run — is
+/// deterministic even with tied timestamps.
+struct Ev {
+    t: f64,
+    seq: u64,
+    tenant: u16,
+    footprint: u64,
+    arrival_s: f64,
+    uncompressed: u64,
+    wire: u64,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .t
+            .total_cmp(&self.t)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs the load described by `loads` against a virtual server and
+/// returns the full report. Deterministic: same arguments, same report,
+/// bit for bit.
+pub fn run_virtual(
+    config: &ServerConfig,
+    loads: &[TenantLoad],
+    horizon_s: f64,
+    seed: u64,
+    model: ServiceModel,
+) -> LoadReport {
+    let schedule = Schedule::generate(loads, horizon_s, seed);
+    run_schedule(config, loads, &schedule, model)
+}
+
+/// Replays an existing [`Schedule`] (useful when the caller also wants
+/// to inspect or replay the exact arrival stream).
+pub fn run_schedule(
+    config: &ServerConfig,
+    loads: &[TenantLoad],
+    schedule: &Schedule,
+    model: ServiceModel,
+) -> LoadReport {
+    assert!(config.workers > 0, "need at least one worker");
+    let specs: Vec<_> = loads.iter().map(|l| l.spec.clone()).collect();
+    let mut sched = TenantScheduler::new(specs, config.policy);
+    let mut pool = StagingPool::new(config.staging_bytes);
+    let window_elems = (config.window_bytes / 4).max(1);
+
+    // Per-tenant latency recorders sized to the offered load.
+    let mut recorders: Vec<LatencyRecorder> = loads
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let n = schedule
+                .arrivals
+                .iter()
+                .filter(|a| a.tenant as usize == i)
+                .count();
+            LatencyRecorder::with_capacity(n)
+        })
+        .collect();
+
+    let mut events: BinaryHeap<Ev> = BinaryHeap::with_capacity(config.workers + 1);
+    let mut free = config.workers;
+    let mut word_pool: Pool<Vec<f32>> = Pool::with_capacity(8);
+    let mut out_pool: Pool<OutputBufs> = Pool::with_capacity(2);
+    let mut last_t = 0.0f64;
+
+    // One completion: free the worker, return the reservation, record.
+    fn complete(
+        ev: Ev,
+        free: &mut usize,
+        sched: &mut TenantScheduler,
+        pool: &mut StagingPool,
+        recorders: &mut [LatencyRecorder],
+        last_t: &mut f64,
+    ) {
+        *free += 1;
+        pool.release(ev.footprint);
+        sched.complete(ev.tenant, ev.uncompressed, ev.wire);
+        recorders[ev.tenant as usize].record(ev.t - ev.arrival_s);
+        *last_t = last_t.max(ev.t);
+    }
+
+    // Dispatch queued jobs onto free virtual workers at time `now`.
+    // Compression runs for real here; only the service *time* is modeled.
+    macro_rules! dispatch {
+        ($now:expr) => {
+            while free > 0 {
+                let Some(mut job) = sched.pop_next() else {
+                    break;
+                };
+                free -= 1;
+                let req = job.req.take().expect("job carries its request");
+                let codec = req.algorithm.codec();
+                let bufs = out_pool.get();
+                let response = exec::execute(req, &codec, window_elems, bufs);
+                word_pool.put(response.input_words);
+                let ev = Ev {
+                    t: $now + model.service_s(job.footprint),
+                    seq: job.seq,
+                    tenant: job.tenant,
+                    footprint: job.footprint,
+                    arrival_s: job.arrival_s,
+                    uncompressed: response.uncompressed_bytes,
+                    wire: response.wire_bytes,
+                };
+                out_pool.put(OutputBufs {
+                    bytes: response.bytes,
+                    offsets: response.offsets,
+                    words: response.words,
+                });
+                events.push(ev);
+            }
+        };
+    }
+
+    for (next_id, arrival) in schedule.arrivals.iter().enumerate() {
+        // Retire everything that finishes before this arrival.
+        while events.peek().is_some_and(|e| e.t <= arrival.at_s) {
+            let ev = events.pop().unwrap();
+            let t = ev.t;
+            complete(
+                ev,
+                &mut free,
+                &mut sched,
+                &mut pool,
+                &mut recorders,
+                &mut last_t,
+            );
+            dispatch!(t);
+        }
+        let mut words = word_pool.get();
+        words.resize(arrival.elements, 0.0);
+        fill_activations(
+            arrival.fill_seed,
+            loads[arrival.tenant as usize].zero_density,
+            &mut words,
+        );
+        let req = Request::compress(
+            TenantId(arrival.tenant),
+            next_id as u64,
+            config.algorithm,
+            words,
+        );
+        match sched.try_enqueue(req, arrival.at_s, &mut pool) {
+            Ok(_) => dispatch!(arrival.at_s),
+            Err((_, req)) => word_pool.put(req.words),
+        }
+    }
+    // Drain the tail.
+    while let Some(ev) = events.pop() {
+        let t = ev.t;
+        complete(
+            ev,
+            &mut free,
+            &mut sched,
+            &mut pool,
+            &mut recorders,
+            &mut last_t,
+        );
+        dispatch!(t);
+    }
+    assert_eq!(sched.backlog(), 0, "virtual drain leaves no backlog");
+    assert_eq!(pool.in_use(), 0, "every admitted footprint released");
+
+    let elapsed_s = schedule.horizon_s.max(last_t);
+    let tenants = loads
+        .iter()
+        .enumerate()
+        .map(|(i, l)| TenantLoadReport {
+            name: l.spec.name.clone(),
+            weight: l.spec.weight,
+            counters: sched.counters(TenantId(i as u16)).unwrap(),
+            latency: recorders[i].stats(),
+        })
+        .collect();
+    LoadReport {
+        mode: "virtual",
+        seed: schedule.seed,
+        workers: config.workers,
+        elapsed_s,
+        tenants,
+        staging_high_water: pool.high_water(),
+        staging_capacity: pool.capacity(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::TenantSpec;
+
+    fn config(workers: usize, staging: u64) -> ServerConfig {
+        ServerConfig {
+            workers,
+            staging_bytes: staging,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn virtual_runs_are_bit_identical() {
+        let loads = vec![
+            TenantLoad::new(TenantSpec::new("a"), 20_000.0),
+            TenantLoad::new(TenantSpec::new("b").weight(2.0), 10_000.0),
+        ];
+        let a = run_virtual(
+            &config(4, 70 * 1024),
+            &loads,
+            0.05,
+            42,
+            ServiceModel::default(),
+        );
+        let b = run_virtual(
+            &config(4, 70 * 1024),
+            &loads,
+            0.05,
+            42,
+            ServiceModel::default(),
+        );
+        assert_eq!(
+            a.deterministic_summary_json(),
+            b.deterministic_summary_json()
+        );
+        assert_eq!(a.latency_json(), b.latency_json());
+        assert!(a.total_completed() > 0);
+    }
+
+    #[test]
+    fn low_load_sheds_nothing() {
+        // 1k req/s of 4 KB against 4 modeled workers at 2 GB/s each:
+        // utilisation ~0.1%, nothing may shed.
+        let loads = vec![TenantLoad::new(TenantSpec::new("light"), 1_000.0)];
+        let r = run_virtual(
+            &config(4, 70 * 1024),
+            &loads,
+            0.1,
+            7,
+            ServiceModel::default(),
+        );
+        assert_eq!(r.total_shed(), 0);
+        assert_eq!(r.total_completed(), r.tenants[0].counters.submitted);
+        let l = r.tenants[0].latency.unwrap();
+        assert!(l.p99_s >= l.p50_s && l.max_s >= l.p99_s);
+        // Service model floor: nothing completes (meaningfully) faster
+        // than one service time; `(t + s) - t` can round a few ulps low.
+        assert!(l.p50_s >= ServiceModel::default().service_s(4096) * 0.999);
+    }
+
+    #[test]
+    fn overload_sheds_and_justifies() {
+        // One modeled worker at 2 GB/s ≈ 325k 4 KB-req/s of service;
+        // tiny staging pool (two windows) + 500k req/s offered forces
+        // queue growth to hit the pool bound immediately.
+        let loads = vec![TenantLoad::new(TenantSpec::new("hot"), 500_000.0)];
+        let r = run_virtual(&config(1, 8192), &loads, 0.02, 3, ServiceModel::default());
+        assert!(r.total_shed() > 0, "overload must shed");
+        let c = r.tenants[0].counters;
+        assert_eq!(c.submitted, c.accepted + c.shed_staging + c.shed_queue);
+        assert_eq!(c.accepted, c.completed, "accepted work is never dropped");
+        assert_eq!(r.staging_high_water, 8192, "pool fills to capacity");
+    }
+
+    #[test]
+    fn wire_bytes_track_density() {
+        let dense = vec![TenantLoad::new(TenantSpec::new("d"), 5_000.0).zero_density(0.0)];
+        let sparse = vec![TenantLoad::new(TenantSpec::new("s"), 5_000.0).zero_density(0.9)];
+        let rd = run_virtual(
+            &config(2, 70 * 1024),
+            &dense,
+            0.05,
+            9,
+            ServiceModel::default(),
+        );
+        let rs = run_virtual(
+            &config(2, 70 * 1024),
+            &sparse,
+            0.05,
+            9,
+            ServiceModel::default(),
+        );
+        let ratio = |r: &LoadReport| {
+            let c = r.tenants[0].counters;
+            c.uncompressed_bytes as f64 / c.wire_bytes as f64
+        };
+        assert!(ratio(&rd) < 1.05, "dense data barely compresses");
+        assert!(ratio(&rs) > 3.0, "90% zeros compress well under ZVC");
+    }
+}
