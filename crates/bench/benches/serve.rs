@@ -81,6 +81,9 @@ fn max_p99_us(report: &LoadReport) -> f64 {
 
 fn main() {
     let args = parse_args();
+    // Worker threads compress through the dispatched ZVC kernel, so the
+    // req/s numbers below are tier-dependent: name the tier up front.
+    println!("ZVC kernel: {}", cdma_compress::kernel_info());
     let horizon = if args.fast { 0.5 } else { 2.0 };
     let config = ServerConfig {
         workers: args.workers,

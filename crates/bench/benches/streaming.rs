@@ -1,29 +1,36 @@
 //! Streaming-codec throughput: the zero-copy API redesign *and* the
-//! word-at-a-time ZVC kernels, measured in GB/s of uncompressed input.
+//! SIMD ZVC kernel tiers, measured in GB/s of uncompressed input.
 //!
-//! Three suites:
+//! Four suites:
 //!
 //! 1. **dispatch** — boxed-per-call vs static [`Codec`] on one 4 KB window.
 //! 2. **whole-offload** — the pre-redesign hot path (boxed codec, fresh
 //!    `Vec` per window, `Vec<Vec<u8>>` stream) against the contiguous
 //!    [`WindowedStream`], recycled buffers, and the parallel window path.
-//! 3. **density sweep** — compress and decompress GB/s per codec at the
+//! 3. **memcpy baseline** — a plain `f32` copy of the sweep-sized buffer:
+//!    the hardware ceiling every codec number is expressed against (the
+//!    `*_memcpy_fraction` metrics), so "within a small factor of memcpy"
+//!    is a tracked number rather than prose.
+//! 4. **density sweep** — compress and decompress GB/s per codec at the
 //!    activation densities that matter (d ∈ {0.05, 0.25, 0.38, 0.75, 1.0};
-//!    0.38 is the paper's network average), with the pre-vectorization
-//!    scalar ZVC kernel alongside as the before/after baseline. ZVC's
-//!    *ratio* is density-only, but its *throughput* is density-sensitive —
-//!    sparser input means fewer payload bytes per window — which this
-//!    suite makes visible.
+//!    0.38 is the paper's network average), with the active ZVC kernel
+//!    (`ZV`), every other tier this CPU supports (`ZVportable`, `ZVsse2`,
+//!    …), and the pre-vectorization scalar kernel (`ZVscalar`) side by
+//!    side. ZVC's *ratio* is density-only, but its *throughput* is
+//!    density-sensitive — sparser input means fewer payload bytes per
+//!    window — which this suite makes visible.
 //!
 //! Run with `cargo bench -p cdma-bench --bench streaming`; pass `--fast`
 //! (after `--`) for the CI smoke mode: smaller inputs, no zlib rows, same
-//! table shape. The summary asserts the two acceptance bars in its output:
-//! streaming ≥ legacy, and the word-at-a-time kernels ≥ 2× the scalar
-//! reference (compress + decompress) at d ≈ 0.38.
+//! table shape. The summary asserts the acceptance bars in its output:
+//! streaming ≥ legacy, and the SIMD kernels ≥ 2× the portable
+//! word-at-a-time tier (compress + decompress) at d ≈ 0.38.
 
 use cdma_bench::micro::{group, Harness};
 use cdma_bench::trajectory::Trajectory;
-use cdma_compress::{windowed::WindowedStream, Algorithm, Compressor, DecodeError, Zvc};
+use cdma_compress::{
+    windowed::WindowedStream, Algorithm, Compressor, DecodeError, Kernel, KernelTier, Zvc,
+};
 use cdma_sparsity::ActivationGen;
 use cdma_tensor::{Layout, Shape4};
 
@@ -49,6 +56,44 @@ impl Compressor for ScalarZvc {
         out: &mut Vec<f32>,
     ) -> Result<(), DecodeError> {
         cdma_compress::scalar_reference::decompress_append(bytes, element_count, out)
+    }
+}
+
+/// One explicit ZVC kernel tier, benchable beside the auto-dispatched
+/// codec: the sweep shows every tier the CPU supports so the dispatch
+/// choice is a measured decision, not an act of faith.
+struct TierZvc {
+    kernel: &'static Kernel,
+}
+
+/// The sweep label for an explicitly-forced tier.
+fn tier_label(tier: KernelTier) -> &'static str {
+    match tier {
+        KernelTier::Portable => "ZVportable",
+        KernelTier::Sse2 => "ZVsse2",
+        KernelTier::Avx2 => "ZVavx2",
+        KernelTier::Avx512 => "ZVavx512",
+        KernelTier::Neon => "ZVneon",
+        _ => "ZVtier",
+    }
+}
+
+impl Compressor for TierZvc {
+    fn name(&self) -> &'static str {
+        tier_label(self.kernel.tier())
+    }
+
+    fn compress_append(&self, data: &[f32], out: &mut Vec<u8>) {
+        self.kernel.compress_append(data, out);
+    }
+
+    fn decompress_append(
+        &self,
+        bytes: &[u8],
+        element_count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
+        self.kernel.decompress_append(bytes, element_count, out)
     }
 }
 
@@ -164,6 +209,20 @@ fn bench_decompress_stream(h: &mut Harness, fast: bool) {
     }
 }
 
+/// Plain `f32` copy of a sweep-sized buffer: the memory-bandwidth ceiling
+/// the codec numbers are expressed against. Same working set as the
+/// density sweep so the fraction compares like with like.
+fn bench_memcpy(h: &mut Harness, fast: bool) {
+    group("memcpy baseline (sweep-sized f32 copy)");
+    let data = density_input(0.38, fast);
+    let bytes = (data.len() * 4) as u64;
+    let mut out = vec![0.0f32; data.len()];
+    h.bench("memcpy/f32", bytes, || {
+        out.copy_from_slice(&data);
+        out[0]
+    });
+}
+
 /// One sweep row: compress + decompress GB/s for `codec` at density `d`.
 fn sweep_codec<C: Compressor>(h: &mut Harness, label: &str, codec: &C, d: f64, data: &[f32]) {
     let bytes = (data.len() * 4) as u64;
@@ -184,9 +243,18 @@ fn bench_density_sweep(h: &mut Harness, fast: bool) {
         "density sweep, GB/s per codec ({} cache-resident input; d = fraction of non-zero words)",
         if fast { "256 KB" } else { "1 MB" }
     ));
+    let active = cdma_compress::kernel_info().tier;
     for d in DENSITIES {
         let data = density_input(d, fast);
         sweep_codec(h, "ZV", &Zvc::new(), d, &data);
+        // Every other tier this CPU supports, explicitly forced: the `ZV`
+        // row above already covers the active tier.
+        for kernel in Kernel::supported() {
+            if kernel.tier() != active {
+                let codec = TierZvc { kernel };
+                sweep_codec(h, tier_label(kernel.tier()), &codec, d, &data);
+            }
+        }
         sweep_codec(h, "ZVscalar", &ScalarZvc, d, &data);
         sweep_codec(h, "RL", &Algorithm::Rle.codec(), d, &data);
         if !fast {
@@ -197,6 +265,22 @@ fn bench_density_sweep(h: &mut Harness, fast: bool) {
 
 fn gbps(h: &Harness, label: &str) -> f64 {
     h.get(label).and_then(|m| m.gb_per_s()).unwrap_or(0.0)
+}
+
+/// GB/s for `tier` at density `d` — the active tier was benched under the
+/// plain `ZV` label, every other tier under its `ZV<tier>` label.
+fn tier_gbps(h: &Harness, op: &str, tier: KernelTier, active: KernelTier, d: f64) -> f64 {
+    let label = if tier == active {
+        "ZV"
+    } else {
+        tier_label(tier)
+    };
+    gbps(h, &format!("{op}/{label}/d={d:.2}"))
+}
+
+/// Harmonic mean of compress + decompress GB/s: the round-trip rate.
+fn combined(c: f64, d: f64) -> f64 {
+    1.0 / (1.0 / c.max(1e-12) + 1.0 / d.max(1e-12))
 }
 
 fn print_summary(h: &Harness, fast: bool) {
@@ -220,36 +304,77 @@ fn print_summary(h: &Harness, fast: bool) {
         );
     }
 
-    // Acceptance bar 2: word-at-a-time ZVC ≥ 2x the scalar reference at the
-    // paper's average density, compress and decompress combined.
-    println!("\nZVC word-at-a-time vs scalar reference (speedup = fast/scalar):");
+    // Acceptance bar 2: the active SIMD tier ≥ 2x the portable
+    // word-at-a-time tier at the paper's average density, compress and
+    // decompress combined. (On a machine with no SIMD tier the active
+    // tier *is* portable and the bar degenerates to 1.00x [NO SIMD].)
+    let active = cdma_compress::kernel_info().tier;
+    let memcpy = gbps(h, "memcpy/f32");
+    println!(
+        "\nZVC kernel tiers at d=0.38 (active: {}; memcpy ceiling {memcpy:.2} GB/s):",
+        cdma_compress::kernel_info()
+    );
+    println!(
+        "{:>12} {:>12} {:>9} {:>12} {:>9}",
+        "tier", "comp GB/s", "of-memcpy", "decomp GB/s", "of-memcpy"
+    );
+    let d = 0.38;
+    for kernel in Kernel::supported() {
+        let tier = kernel.tier();
+        let c = tier_gbps(h, "compress", tier, active, d);
+        let dc = tier_gbps(h, "decompress", tier, active, d);
+        println!(
+            "{:>12} {c:>12.2} {:>8.2}x {dc:>12.2} {:>8.2}x",
+            tier.name(),
+            c / memcpy.max(1e-12),
+            dc / memcpy.max(1e-12),
+        );
+    }
+    let sc = gbps(h, &format!("compress/ZVscalar/d={d:.2}"));
+    let sd = gbps(h, &format!("decompress/ZVscalar/d={d:.2}"));
+    println!(
+        "{:>12} {sc:>12.2} {:>8.2}x {sd:>12.2} {:>8.2}x  (pre-vectorization)",
+        "scalar",
+        sc / memcpy.max(1e-12),
+        sd / memcpy.max(1e-12),
+    );
+
+    println!("\nactive SIMD tier vs portable word-at-a-time (speedup = simd/portable):");
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}",
-        "d", "fast-c GB/s", "scal-c GB/s", "fast-d GB/s", "scal-d GB/s", "c-speedup", "d-speedup"
+        "d", "simd-c GB/s", "port-c GB/s", "simd-d GB/s", "port-d GB/s", "c-speedup", "d-speedup"
     );
     for d in DENSITIES {
         let fc = gbps(h, &format!("compress/ZV/d={d:.2}"));
-        let sc = gbps(h, &format!("compress/ZVscalar/d={d:.2}"));
+        let pc = tier_gbps(h, "compress", KernelTier::Portable, active, d);
         let fd = gbps(h, &format!("decompress/ZV/d={d:.2}"));
-        let sd = gbps(h, &format!("decompress/ZVscalar/d={d:.2}"));
+        let pd = tier_gbps(h, "decompress", KernelTier::Portable, active, d);
         println!(
-            "{d:>6.2} {fc:>12.2} {sc:>12.2} {fd:>12.2} {sd:>12.2} {:>8.2}x {:>8.2}x",
-            fc / sc.max(1e-12),
-            fd / sd.max(1e-12),
+            "{d:>6.2} {fc:>12.2} {pc:>12.2} {fd:>12.2} {pd:>12.2} {:>8.2}x {:>8.2}x",
+            fc / pc.max(1e-12),
+            fd / pd.max(1e-12),
         );
     }
     let d = 0.38;
-    let combined_fast = 1.0
-        / (1.0 / gbps(h, &format!("compress/ZV/d={d:.2}")).max(1e-12)
-            + 1.0 / gbps(h, &format!("decompress/ZV/d={d:.2}")).max(1e-12));
-    let combined_scalar = 1.0
-        / (1.0 / gbps(h, &format!("compress/ZVscalar/d={d:.2}")).max(1e-12)
-            + 1.0 / gbps(h, &format!("decompress/ZVscalar/d={d:.2}")).max(1e-12));
-    let speedup = combined_fast / combined_scalar.max(1e-12);
-    let verdict = if speedup >= 2.0 { "OK" } else { "BELOW BAR" };
+    let combined_fast = combined(
+        gbps(h, &format!("compress/ZV/d={d:.2}")),
+        gbps(h, &format!("decompress/ZV/d={d:.2}")),
+    );
+    let combined_portable = combined(
+        tier_gbps(h, "compress", KernelTier::Portable, active, d),
+        tier_gbps(h, "decompress", KernelTier::Portable, active, d),
+    );
+    let speedup = combined_fast / combined_portable.max(1e-12);
+    let verdict = if active == KernelTier::Portable {
+        "NO SIMD"
+    } else if speedup >= 2.0 {
+        "OK"
+    } else {
+        "BELOW BAR"
+    };
     println!(
-        "d=0.38 compress+decompress round-trip: {combined_fast:.2} GB/s vs scalar \
-         {combined_scalar:.2} GB/s = {speedup:.2}x  [{verdict}]"
+        "d=0.38 compress+decompress round-trip: {combined_fast:.2} GB/s vs portable \
+         {combined_portable:.2} GB/s = {speedup:.2}x  [{verdict}]"
     );
     if fast {
         println!("(--fast smoke mode: 256 KB inputs, zlib rows skipped)");
@@ -265,10 +390,24 @@ fn record(h: &Harness, fast: bool) {
         t.gbps_from(h, &format!("contiguous_stream/{}", alg.label()));
         t.gbps_from(h, &format!("recompress_recycled/{}", alg.label()));
     }
+    t.gbps_from(h, "memcpy/f32");
+    let memcpy = gbps(h, "memcpy/f32");
+    let active = cdma_compress::kernel_info().tier;
+    let portable_label = if active == KernelTier::Portable {
+        "ZV"
+    } else {
+        "ZVportable"
+    };
     for d in DENSITIES {
-        for label in ["ZV", "ZVscalar"] {
+        for label in ["ZV", portable_label, "ZVscalar"] {
             t.gbps_from(h, &format!("compress/{label}/d={d:.2}"));
             t.gbps_from(h, &format!("decompress/{label}/d={d:.2}"));
+        }
+        // Fraction-of-memcpy for the dispatched kernel: the honest "how
+        // close to the memory ceiling" number the README quotes.
+        for op in ["compress", "decompress"] {
+            let frac = gbps(h, &format!("{op}/ZV/d={d:.2}")) / memcpy.max(1e-12);
+            t.metric(&format!("{op}/ZV/d={d:.2}_memcpy_fraction"), frac);
         }
     }
     let path = t.append_default().expect("append BENCH_streaming.json");
@@ -277,10 +416,12 @@ fn record(h: &Harness, fast: bool) {
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
+    println!("ZVC kernel: {}", cdma_compress::kernel_info());
     let mut h = Harness::new();
     bench_dispatch(&mut h, fast);
     bench_streams(&mut h, fast);
     bench_decompress_stream(&mut h, fast);
+    bench_memcpy(&mut h, fast);
     bench_density_sweep(&mut h, fast);
     print_summary(&h, fast);
     if std::env::args().any(|a| a == "--record") {

@@ -34,20 +34,24 @@
 //! ([`Algorithm::codec`]); [`Algorithm::boxed`] still hands out a
 //! `Box<dyn Compressor>` for code that genuinely needs a trait object.
 //!
-//! # Word-at-a-time ZVC kernels
+//! # SIMD ZVC kernel tiers
 //!
 //! ZVC's mask+payload format exists because it maps to wide, branch-free
-//! hardware (Fig. 8), and the software kernels exploit the same property:
-//! window masks are folded from the raw `u32` bit patterns with shifts
-//! (no per-element branch), payloads move as whole contiguous non-zero
-//! runs found by `trailing_zeros`/`trailing_ones` scans of the mask, and
-//! decompression run-decodes gaps as bulk zero fills. A scalar reference
-//! implementation is kept as a test oracle; seeded property loops pin the
-//! fast kernels byte-identical to it, including on `-0.0`, NaN-payload,
+//! hardware (Fig. 8), and the software kernels exploit the same property
+//! in explicit `std::arch` SIMD: vector compares fold a window's zero
+//! tests into its presence mask one move-mask at a time, and payloads move
+//! by lane compaction/expansion shuffles (AVX2/AVX-512/NEON) or bulk
+//! contiguous-run copies (the portable word-at-a-time tier, which every
+//! platform can run). The widest tier the CPU supports is selected once
+//! per process — [`kernel_info`] reports which, [`Kernel`] and
+//! [`KernelTier`] expose the dispatch table, and the `CDMA_ZVC_KERNEL`
+//! environment variable forces a tier (the CI matrix runs the whole test
+//! suite under each one). A scalar reference implementation is kept as a
+//! test oracle; seeded property loops and the per-tier differential suite
+//! pin every tier byte-identical to it, including on `-0.0`, NaN-payload,
 //! and subnormal inputs. See [`Zvc`] for the format and kernel details,
 //! and `cargo bench -p cdma-bench --bench streaming` for the density-sweep
-//! throughput table (≈2–3× over the scalar reference at the paper's
-//! average density).
+//! throughput table with its memcpy-fraction column.
 //!
 //! The engine compresses data in fixed-size *windows* (4 KB in the paper's
 //! evaluation, Section VII-A); [`windowed::WindowedStream`] reproduces that
@@ -90,6 +94,7 @@ pub mod pool;
 mod rle;
 mod stats;
 pub mod windowed;
+pub(crate) mod workers;
 mod zlib;
 mod zvc;
 
@@ -98,7 +103,7 @@ pub use error::DecodeError;
 pub use rle::Rle;
 pub use stats::CompressionStats;
 pub use zlib::Zlib;
-pub use zvc::{Zvc, ZVC_WINDOW_ELEMS};
+pub use zvc::{kernel_info, sector_mask, Kernel, KernelInfo, KernelTier, Zvc, ZVC_WINDOW_ELEMS};
 
 #[doc(hidden)]
 pub use zvc::scalar_reference;

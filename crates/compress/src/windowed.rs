@@ -19,18 +19,43 @@
 //!
 //! Window payloads are produced by [`Compressor::compress_append`]
 //! straight into the contiguous buffer, so ZVC windows go through the
-//! word-at-a-time kernels (see [`crate::Zvc`]) with no per-window
-//! allocation — sequentially, or fanned out over scoped threads by
-//! [`WindowedStream::compress_parallel`] with bit-identical output.
+//! SIMD kernel tiers (see [`crate::Zvc`]) with no per-window
+//! allocation — sequentially, or fanned out over the persistent worker
+//! pool by [`WindowedStream::compress_parallel`] with bit-identical
+//! output.
+//!
+//! # The parallel pipeline
+//!
+//! The parallel paths shard the input into contiguous window runs and hand
+//! the shards to the process-wide worker pool (spawned once, parked
+//! between jobs — no per-call thread creation). The calling thread does
+//! not compress: it **stitches** — as each shard's private buffer
+//! completes, in index order, it is appended to the contiguous stream and
+//! its entries added to the offset table, overlapping offset-table
+//! emission with the compression of later shards. Because windows are
+//! compressed independently either way, the stitched stream is
+//! bit-identical to the sequential path's.
+//!
+//! The `threads` knob on these paths follows one convention: **`0` means
+//! one thread per available core** (`std::thread::available_parallelism`),
+//! `1` forces the sequential path, and any other value is used as given.
 
-use crate::{CompressionStats, Compressor, DecodeError};
+use std::sync::{Condvar, Mutex};
+
+use crate::{workers, CompressionStats, Compressor, DecodeError};
 
 /// The paper's default window: 4 KB = 1024 activation words.
 pub const DEFAULT_WINDOW_BYTES: usize = 4 * 1024;
 
-/// Inputs below this size are not worth spreading across threads: thread
-/// spawn/join overhead (~10 µs) rivals the compression time itself.
+/// Inputs below this size are not worth spreading across threads: the
+/// pool handshake and shard stitching rival the compression time itself.
 const PARALLEL_MIN_BYTES: usize = 1 << 20;
+
+/// Target shards per worker in the parallel paths: enough slack that the
+/// stitcher always has a completed shard to fold in while later shards
+/// are still compressing, without shrinking shards below the point where
+/// per-shard bookkeeping shows up.
+const SHARDS_PER_WORKER: usize = 4;
 
 fn assert_window(window_bytes: usize) {
     assert!(
@@ -61,6 +86,31 @@ pub fn compress_stats<C: Compressor + ?Sized>(
         compressed += codec.compressed_size(chunk) as u64;
     }
     CompressionStats::new((data.len() * 4) as u64, compressed)
+}
+
+/// Compresses `data` in `window_elems`-word windows appended straight to
+/// `bytes`, pushing the stream position after each window (and once up
+/// front) onto `offsets` — the `u32` offset-table convention of the
+/// `cdma-serve` wire format, whose exec path is the main caller. Windows
+/// go through [`Compressor::compress_append`], so ZVC lands in the SIMD
+/// kernel tiers with no per-window allocation.
+///
+/// # Panics
+///
+/// Panics if `window_elems` is zero.
+pub fn append_windows<C: Compressor + ?Sized>(
+    codec: &C,
+    data: &[f32],
+    window_elems: usize,
+    bytes: &mut Vec<u8>,
+    offsets: &mut Vec<u32>,
+) {
+    assert!(window_elems > 0, "window_elems must be positive");
+    offsets.push(bytes.len() as u32);
+    for chunk in data.chunks(window_elems) {
+        codec.compress_append(chunk, bytes);
+        offsets.push(bytes.len() as u32);
+    }
 }
 
 /// A windowed compressed stream that can be decompressed again (the
@@ -143,14 +193,17 @@ impl WindowedStream {
         }
     }
 
-    /// Compresses `data` with the windows spread over `threads` scoped
-    /// worker threads — the opt-in path for multi-megabyte activation maps.
+    /// Compresses `data` with the windows spread over the persistent worker
+    /// pool — the opt-in path for multi-megabyte activation maps. `threads
+    /// == 0` resolves to one per available core (see the module docs for
+    /// the convention).
     ///
-    /// Falls back to the sequential path when `threads <= 1`, when the input
-    /// is too small to amortize thread startup (< 1 MB), or when it spans a
-    /// single window. The output is bit-identical to
-    /// [`WindowedStream::compress`]: windows are compressed independently
-    /// either way, so only wall-clock time changes.
+    /// Falls back to the sequential path when the resolved thread count is
+    /// 1, when the input is too small to amortize the pool handshake
+    /// (< 1 MB), or when it spans a single window. The output is
+    /// bit-identical to [`WindowedStream::compress`]: windows are
+    /// compressed independently either way, so only wall-clock time
+    /// changes.
     ///
     /// # Panics
     ///
@@ -167,12 +220,19 @@ impl WindowedStream {
     }
 
     /// Parallel counterpart of [`WindowedStream::recompress`]: compresses
-    /// with up to `threads` workers while reusing this stream's byte buffer
-    /// and offset table for the stitched result.
+    /// on the worker pool (`threads == 0` = one per core) while reusing
+    /// this stream's byte buffer and offset table for the stitched result.
+    ///
+    /// This is a true pipeline: pool workers compress contiguous shards of
+    /// windows into private buffers while this thread stitches completed
+    /// shards — in index order, as they finish — into the contiguous
+    /// stream and emits their offset-table entries, so table emission
+    /// overlaps compression instead of running after it.
     ///
     /// # Panics
     ///
-    /// Panics if `window_bytes` is not a positive multiple of 4.
+    /// Panics if `window_bytes` is not a positive multiple of 4, or to
+    /// re-raise a compression panic from a pool worker.
     pub fn recompress_parallel<C: Compressor + Sync + ?Sized>(
         &mut self,
         codec: &C,
@@ -181,6 +241,7 @@ impl WindowedStream {
         threads: usize,
     ) {
         assert_window(window_bytes);
+        let threads = workers::resolve_threads(threads);
         let window_elems = window_bytes / 4;
         let window_count = data.len().div_ceil(window_elems);
         if threads <= 1 || data.len() * 4 < PARALLEL_MIN_BYTES || window_count <= 1 {
@@ -188,49 +249,86 @@ impl WindowedStream {
             return;
         }
 
-        // Deal each worker a contiguous run of windows; workers compress
-        // into private (buffer, sizes) shards that are then stitched into
-        // the contiguous stream. Windows are independent, so the result is
-        // identical to the sequential path.
-        let workers = threads.min(window_count);
-        let windows_per_worker = window_count.div_ceil(workers);
-        let elems_per_worker = windows_per_worker * window_elems;
-        let mut shards: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = data
-                .chunks(elems_per_worker)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut bytes = Vec::new();
-                        let mut sizes = Vec::with_capacity(windows_per_worker);
-                        for chunk in shard.chunks(window_elems) {
-                            let start = bytes.len();
-                            codec.compress_append(chunk, &mut bytes);
-                            sizes.push(bytes.len() - start);
-                        }
-                        (bytes, sizes)
-                    })
-                })
-                .collect();
-            shards = handles
-                .into_iter()
-                .map(|h| h.join().expect("compression worker panicked"))
-                .collect();
-        });
+        // Deal contiguous runs of windows into shards — several per worker,
+        // so the stitcher below always has completed shards to fold in
+        // while later ones are still compressing.
+        let limit = threads.min(window_count);
+        let windows_per_shard = window_count.div_ceil(limit * SHARDS_PER_WORKER);
+        let elems_per_shard = windows_per_shard * window_elems;
+        let shard_count = data.len().div_ceil(elems_per_shard);
 
-        let total: usize = shards.iter().map(|(b, _)| b.len()).sum();
+        // Per-shard result slots plus completion flags; a worker fills its
+        // slot, then flips its flag under the progress lock. The drop guard
+        // flips the flag even if the codec panics, so the stitcher can
+        // never be left waiting on a shard that will not arrive.
+        // One shard's output: the compressed bytes plus per-window sizes.
+        type ShardSlot = Mutex<Option<(Vec<u8>, Vec<usize>)>>;
+        let results: Vec<ShardSlot> = (0..shard_count).map(|_| Mutex::new(None)).collect();
+        let progress = Mutex::new(vec![false; shard_count]);
+        let arrived = Condvar::new();
+
+        struct DoneGuard<'a> {
+            progress: &'a Mutex<Vec<bool>>,
+            arrived: &'a Condvar,
+            index: usize,
+        }
+        impl Drop for DoneGuard<'_> {
+            fn drop(&mut self) {
+                self.progress.lock().unwrap()[self.index] = true;
+                self.arrived.notify_all();
+            }
+        }
+
+        let body = |i: usize| {
+            let guard = DoneGuard {
+                progress: &progress,
+                arrived: &arrived,
+                index: i,
+            };
+            let start = i * elems_per_shard;
+            let shard = &data[start..(start + elems_per_shard).min(data.len())];
+            let mut bytes = Vec::new();
+            let mut sizes = Vec::with_capacity(windows_per_shard);
+            for chunk in shard.chunks(window_elems) {
+                let before = bytes.len();
+                codec.compress_append(chunk, &mut bytes);
+                sizes.push(bytes.len() - before);
+            }
+            *results[guard.index].lock().unwrap() = Some((bytes, sizes));
+        };
+
         self.bytes.clear();
-        self.bytes.reserve(total);
         self.offsets.clear();
         self.offsets.reserve(window_count + 1);
         self.offsets.push(0);
-        for (shard_bytes, sizes) in shards {
-            self.bytes.extend_from_slice(&shard_bytes);
-            for s in sizes {
-                let last = *self.offsets.last().expect("offsets starts non-empty");
-                self.offsets.push(last + s);
+        // SAFETY: `body` and everything it borrows outlive `handle`, which
+        // is waited on before this scope ends.
+        let handle = unsafe { workers::launch(shard_count, limit, &body) };
+        let mut missing = false;
+        for i in 0..shard_count {
+            let mut flags = progress.lock().unwrap();
+            while !flags[i] {
+                flags = arrived.wait(flags).unwrap();
+            }
+            drop(flags);
+            match results[i].lock().unwrap().take() {
+                Some((shard_bytes, sizes)) => {
+                    self.bytes.extend_from_slice(&shard_bytes);
+                    for s in sizes {
+                        let last = *self.offsets.last().expect("offsets starts non-empty");
+                        self.offsets.push(last + s);
+                    }
+                }
+                None => {
+                    // The shard's guard fired without a result: its worker
+                    // panicked. Stop stitching; `wait` re-raises below.
+                    missing = true;
+                    break;
+                }
             }
         }
+        handle.wait();
+        assert!(!missing, "compression worker produced no shard result");
         self.window_elems = window_elems;
         self.element_count = data.len();
     }
@@ -428,6 +526,36 @@ mod tests {
         let par = WindowedStream::compress_parallel(&zvc, &data, 4096, 8);
         let seq = WindowedStream::compress(&zvc, &data, 4096);
         assert_eq!(par.as_bytes(), seq.as_bytes());
+    }
+
+    #[test]
+    fn zero_threads_means_auto_and_matches_sequential() {
+        // 0 = one thread per available core; whatever that resolves to,
+        // the stream must be bit-identical to the sequential path.
+        let data = sparse_data(300_000);
+        let zvc = Zvc::new();
+        let auto = WindowedStream::compress_parallel(&zvc, &data, 4096, 0);
+        let seq = WindowedStream::compress(&zvc, &data, 4096);
+        assert_eq!(auto.as_bytes(), seq.as_bytes());
+        assert_eq!(auto.offsets, seq.offsets);
+    }
+
+    #[test]
+    fn append_windows_matches_stream_layout() {
+        let data = sparse_data(5000);
+        let zvc = Zvc::new();
+        let stream = WindowedStream::compress(&zvc, &data, 4096);
+        let mut bytes = Vec::new();
+        let mut offsets = Vec::new();
+        append_windows(&zvc, &data, 1024, &mut bytes, &mut offsets);
+        assert_eq!(bytes, stream.as_bytes());
+        assert_eq!(
+            offsets,
+            stream.offsets.iter().map(|&o| o as u32).collect::<Vec<_>>()
+        );
+        // Appending continues from the current positions.
+        append_windows(&zvc, &data[..1024], 1024, &mut bytes, &mut offsets);
+        assert_eq!(*offsets.last().unwrap() as usize, bytes.len());
     }
 
     #[test]

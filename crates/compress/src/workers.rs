@@ -1,0 +1,284 @@
+//! A lazily-spawned, process-wide worker pool for data-parallel
+//! compression.
+//!
+//! The parallel [`WindowedStream`](crate::windowed::WindowedStream) paths
+//! used to spawn fresh scoped threads on every call; at multi-gigabyte
+//! training-step rates that puts thread creation and teardown on the hot
+//! path. This pool spawns `available_parallelism()` workers **once** (on
+//! first use) and keeps them parked on a condvar between jobs, so a
+//! steady-state compression loop pays one mutex handshake per job instead
+//! of N `clone(2)` calls.
+//!
+//! A job is an index space `0..count` plus a `Fn(usize)` body; workers
+//! claim indices under the pool mutex (index claiming is trivially cheap
+//! next to compressing a multi-kilobyte shard) and run the body unlocked, at
+//! most `limit` workers concurrently. One job runs at a time; concurrent
+//! [`launch`] calls serialize on the slot — the callers are themselves the
+//! parallel paths, so nesting never arises.
+//!
+//! Worker panics are caught (keeping the pool alive) and re-raised on the
+//! launching thread from [`RunHandle::wait`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Resolves a caller-facing thread-count knob: `0` means "one per
+/// available core" (the documented auto convention), anything else is
+/// taken literally.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// The type-erased body of a job, borrowed from the launching caller's
+/// stack (the pointee lifetime is erased to `'static`; validity for the
+/// job's whole run is the `launch` contract). `Send` is sound because the
+/// pointee is required to be `Sync`.
+#[derive(Clone, Copy)]
+struct Body(*const (dyn Fn(usize) + Sync + 'static));
+unsafe impl Send for Body {}
+
+struct JobSlot {
+    body: Body,
+    count: usize,
+    limit: usize,
+    next: usize,
+    active: usize,
+    epoch: u64,
+    panicked: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct State {
+    epoch: u64,
+    job: Option<JobSlot>,
+}
+
+#[derive(Default)]
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between claims; signalled on job install and when
+    /// a concurrency slot frees up.
+    work_cv: Condvar,
+    /// Launchers park here; signalled when the job slot empties.
+    done_cv: Condvar,
+}
+
+fn pool() -> &'static Shared {
+    static POOL: OnceLock<&'static Shared> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shared: &'static Shared = Box::leak(Box::new(Shared::default()));
+        for i in 0..resolve_threads(0) {
+            std::thread::Builder::new()
+                .name(format!("cdma-worker-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawning cdma worker pool");
+        }
+        shared
+    })
+}
+
+fn worker_loop(shared: &'static Shared) {
+    let mut guard: MutexGuard<'_, State> = shared.state.lock().unwrap();
+    loop {
+        let claim = match guard.job.as_mut() {
+            Some(j) if j.next < j.count && j.active < j.limit => {
+                let i = j.next;
+                j.next += 1;
+                j.active += 1;
+                Some((j.body, i))
+            }
+            _ => None,
+        };
+        match claim {
+            Some((body, i)) => {
+                drop(guard);
+                // SAFETY: `launch` guarantees the body outlives the job,
+                // and the job cannot complete while `active` counts us.
+                let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*body.0)(i) })).is_ok();
+                guard = shared.state.lock().unwrap();
+                if let Some(j) = guard.job.as_mut() {
+                    j.active -= 1;
+                    if !ok {
+                        j.panicked.store(true, Ordering::Release);
+                    }
+                    if j.next >= j.count && j.active == 0 {
+                        guard.job = None;
+                        shared.done_cv.notify_all();
+                    } else {
+                        // A concurrency slot freed up (or more indices
+                        // remain): let a parked sibling re-check.
+                        shared.work_cv.notify_one();
+                    }
+                }
+            }
+            None => guard = shared.work_cv.wait(guard).unwrap(),
+        }
+    }
+}
+
+/// A running pool job. [`wait`](RunHandle::wait) (or drop, which waits)
+/// blocks until every index has finished; the borrow the handle carries
+/// keeps the job body alive until then.
+pub(crate) struct RunHandle<'a> {
+    shared: Option<&'static Shared>,
+    epoch: u64,
+    panicked: Arc<AtomicBool>,
+    _body: std::marker::PhantomData<&'a ()>,
+}
+
+impl RunHandle<'_> {
+    fn wait_inner(&mut self) -> bool {
+        let Some(shared) = self.shared.take() else {
+            return false;
+        };
+        let mut guard = shared.state.lock().unwrap();
+        while guard.job.as_ref().is_some_and(|j| j.epoch == self.epoch) {
+            guard = shared.done_cv.wait(guard).unwrap();
+        }
+        self.panicked.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the job completes, re-raising any worker panic.
+    pub(crate) fn wait(mut self) {
+        if self.wait_inner() {
+            panic!("a cdma worker panicked while running a pool job");
+        }
+    }
+}
+
+impl Drop for RunHandle<'_> {
+    fn drop(&mut self) {
+        let panicked = self.wait_inner();
+        // Re-raise unless we are already unwinding (a double panic aborts).
+        if panicked && !std::thread::panicking() {
+            panic!("a cdma worker panicked while running a pool job");
+        }
+    }
+}
+
+/// Runs `body(i)` for every `i in 0..count` on the worker pool, at most
+/// `limit` indices in flight at once, returning a handle that completes
+/// the job. The launching thread does **not** run indices — it is free to
+/// consume results concurrently (the pipelining the windowed path relies
+/// on).
+///
+/// # Safety
+///
+/// `body` (and everything it borrows) must stay valid until the returned
+/// handle has been waited on or dropped. Leaking the handle (e.g.
+/// `mem::forget`) while workers still run the job is undefined behaviour —
+/// callers in this crate always let the handle drop in scope.
+pub(crate) unsafe fn launch<'a>(
+    count: usize,
+    limit: usize,
+    body: &'a (dyn Fn(usize) + Sync),
+) -> RunHandle<'a> {
+    let panicked = Arc::new(AtomicBool::new(false));
+    if count == 0 {
+        return RunHandle {
+            shared: None,
+            epoch: 0,
+            panicked,
+            _body: std::marker::PhantomData,
+        };
+    }
+    let shared = pool();
+    let mut guard = shared.state.lock().unwrap();
+    // One job at a time: wait for the slot (freed exactly on completion).
+    while guard.job.is_some() {
+        guard = shared.done_cv.wait(guard).unwrap();
+    }
+    guard.epoch += 1;
+    let epoch = guard.epoch;
+    // Erase the body's borrow lifetime; the handle's PhantomData borrow and
+    // the wait-on-drop guarantee re-establish it dynamically.
+    let erased =
+        std::mem::transmute::<&'a (dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(body);
+    guard.job = Some(JobSlot {
+        body: Body(erased as *const _),
+        count,
+        limit: limit.max(1),
+        next: 0,
+        active: 0,
+        epoch,
+        panicked: Arc::clone(&panicked),
+    });
+    drop(guard);
+    shared.work_cv.notify_all();
+    RunHandle {
+        shared: Some(shared),
+        epoch,
+        panicked,
+        _body: std::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let body = |i: usize| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        };
+        // SAFETY: the handle drops (and therefore waits) in this scope.
+        unsafe { launch(hits.len(), 8, &body) }.wait();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn zero_count_completes_immediately() {
+        let body = |_i: usize| panic!("no index should run");
+        unsafe { launch(0, 4, &body) }.wait();
+    }
+
+    #[test]
+    fn back_to_back_jobs_reuse_the_pool() {
+        for round in 0..32 {
+            let sum = AtomicUsize::new(0);
+            let body = |i: usize| {
+                sum.fetch_add(i + 1, Ordering::Relaxed);
+            };
+            unsafe { launch(10, 4, &body) }.wait();
+            assert_eq!(sum.load(Ordering::Relaxed), 55, "round {round}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_waiter_and_pool_survives() {
+        let body = |i: usize| {
+            if i == 3 {
+                panic!("boom");
+            }
+        };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            unsafe { launch(8, 4, &body) }.wait();
+        }));
+        assert!(result.is_err(), "panic must reach the waiter");
+        // The pool still works afterwards.
+        let ok = AtomicUsize::new(0);
+        let body = |_i: usize| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        };
+        unsafe { launch(5, 2, &body) }.wait();
+        assert_eq!(ok.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn resolve_threads_auto_is_at_least_one() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,5 +1,17 @@
 use crate::{Compressor, DecodeError};
 
+mod kernel;
+#[cfg(all(target_arch = "aarch64", target_endian = "little"))]
+mod neon;
+mod portable;
+#[cfg(all(
+    any(target_arch = "x86", target_arch = "x86_64"),
+    target_endian = "little"
+))]
+mod x86;
+
+pub use kernel::{kernel_info, Kernel, KernelInfo, KernelTier};
+
 /// Number of activation words covered by one ZVC mask (Fig. 8 of the paper).
 pub const ZVC_WINDOW_ELEMS: usize = 32;
 
@@ -20,18 +32,19 @@ pub const ZVC_WINDOW_ELEMS: usize = 32;
 /// The final window of a stream may cover fewer than 32 words; its mask is
 /// still 4 bytes with the unused high bits zero.
 ///
-/// # Word-at-a-time kernels
+/// # Kernel tiers
 ///
 /// The mask+payload format was chosen by the paper precisely because it maps
 /// to wide, branch-free hardware (Fig. 8), and the software kernels mirror
-/// that: each window's mask is computed by zero-testing the raw `u32` bit
-/// patterns and folding the comparisons into the mask with shifts (no
-/// per-element branch), and payloads move as whole contiguous non-zero
-/// *runs* — derived from `trailing_zeros`/`trailing_ones` scans of the mask
-/// — via bulk byte copies rather than one branch per element. Decompression
-/// run-decodes the same way, so dense and sparse windows both avoid
-/// per-bit branching. The streams are byte-identical to the scalar
-/// reference decoder/encoder kept as a test oracle.
+/// that in explicit SIMD: vector zero tests fold a window's comparisons into
+/// its presence mask with one move-mask per 4–16 lanes, and payloads move by
+/// lane compaction/expansion shuffles (AVX2/AVX-512/NEON) or bulk run copies
+/// (portable word-at-a-time tier, SSE2). The tier is selected **once per
+/// process** by runtime CPU detection — see [`Kernel`] and [`kernel_info`] —
+/// and every tier produces byte-identical streams and identical errors,
+/// pinned against the scalar reference oracle by the differential test
+/// suite. Set `CDMA_ZVC_KERNEL=portable|sse2|avx2|avx512|neon` to force a
+/// tier.
 ///
 /// ```
 /// use cdma_compress::{Compressor, Zvc};
@@ -61,179 +74,16 @@ pub struct Zvc {
     _private: (),
 }
 
-/// Reinterprets activation words as their raw `u32` bit patterns.
+/// The presence mask of one 8-word sector: bit *i* set iff word *i* has a
+/// non-zero bit pattern (so `-0.0`, denormals and NaNs all count).
 ///
-/// SAFETY rationale: `f32` and `u32` have identical size (4) and alignment
-/// (4), and every bit pattern is a valid `u32`, so the cast view is sound.
-/// Zero-testing the bit pattern (rather than `== 0.0`) is what makes the
-/// codec bit-exact: `-0.0`, denormals and NaN payloads are all "non-zero".
+/// This is the unit the paper's hardware pipeline computes per cycle with
+/// eight parallel comparators (Fig. 10a); `cdma-gpu-sim`'s
+/// `ZvcCompressPipeline` models exactly this function per stage, and uses
+/// this export so the model and the codec share one definition.
 #[inline]
-fn window_bits(chunk: &[f32]) -> &[u32] {
-    unsafe { core::slice::from_raw_parts(chunk.as_ptr().cast::<u32>(), chunk.len()) }
-}
-
-/// Folds the per-word zero comparisons of one window into its presence
-/// mask with shifts — branch-free, and chunked eight lanes at a time so
-/// the fixed-length inner fold compiles to a wide compare + move-mask
-/// instead of a data-dependent loop.
-#[inline]
-fn window_mask(chunk: &[f32]) -> u32 {
-    let bits = window_bits(chunk);
-    let mut mask = 0u32;
-    let mut lanes = bits.chunks_exact(8);
-    let mut base = 0u32;
-    for ch in lanes.by_ref() {
-        let mut m8 = 0u32;
-        for (i, w) in ch.iter().enumerate() {
-            m8 |= u32::from(*w != 0) << i;
-        }
-        mask |= m8 << base;
-        base += 8;
-    }
-    for (i, w) in lanes.remainder().iter().enumerate() {
-        mask |= u32::from(*w != 0) << (base + i as u32);
-    }
-    mask
-}
-
-/// Compresses the whole stream into `out`'s reserved spare capacity with a
-/// raw write cursor: the mask and each contiguous non-zero run (found by
-/// `trailing_zeros`/`trailing_ones` scans) land as straight `memcpy`s, with
-/// no per-run length bookkeeping — one `set_len` publishes the stream.
-#[cfg(target_endian = "little")]
-fn compress_append_runs(data: &[f32], out: &mut Vec<u8>) {
-    // SAFETY: the caller reserved the worst-case output size, so every
-    // write below lands in spare capacity; `dst` only ever advances past
-    // bytes just written; on a little-endian target the in-memory bytes of
-    // an `f32` are exactly its wire encoding (`to_le_bytes`); `set_len`
-    // publishes exactly the bytes written.
-    unsafe {
-        let base = out.len();
-        debug_assert!(
-            out.capacity() - base >= data.len() * 4 + data.len().div_ceil(ZVC_WINDOW_ELEMS) * 4
-        );
-        let start_ptr = out.as_mut_ptr().add(base);
-        let mut dst = start_ptr;
-        for chunk in data.chunks(ZVC_WINDOW_ELEMS) {
-            let mask = window_mask(chunk);
-            core::ptr::copy_nonoverlapping(mask.to_le_bytes().as_ptr(), dst, 4);
-            dst = dst.add(4);
-            let src = chunk.as_ptr().cast::<u8>();
-            if mask.count_ones() as usize == chunk.len() {
-                // Dense window: one straight copy.
-                core::ptr::copy_nonoverlapping(src, dst, chunk.len() * 4);
-                dst = dst.add(chunk.len() * 4);
-            } else {
-                let mut m = mask;
-                while m != 0 {
-                    let run_start = m.trailing_zeros() as usize;
-                    let run = (m >> run_start).trailing_ones() as usize;
-                    core::ptr::copy_nonoverlapping(src.add(run_start * 4), dst, run * 4);
-                    dst = dst.add(run * 4);
-                    let end = run_start + run;
-                    m = if end >= 32 { 0 } else { m & (u32::MAX << end) };
-                }
-            }
-        }
-        out.set_len(base + usize::try_from(dst.offset_from(start_ptr)).unwrap());
-    }
-}
-
-/// Big-endian fallback: the same branch-free run scan through safe
-/// appends, with per-word little-endian serialization (the wire format is
-/// LE regardless of host).
-#[cfg(not(target_endian = "little"))]
-fn compress_append_runs(data: &[f32], out: &mut Vec<u8>) {
-    for chunk in data.chunks(ZVC_WINDOW_ELEMS) {
-        let mask = window_mask(chunk);
-        out.extend_from_slice(&mask.to_le_bytes());
-        let mut m = mask;
-        while m != 0 {
-            let start = m.trailing_zeros() as usize;
-            let run = (m >> start).trailing_ones() as usize;
-            for v in &chunk[start..start + run] {
-                out.extend_from_slice(&v.to_le_bytes());
-            }
-            let end = start + run;
-            m = if end >= 32 { 0 } else { m & (u32::MAX << end) };
-        }
-    }
-}
-
-/// Run-decodes one window: zero gaps become bulk `memset` fills, non-zero
-/// runs become bulk word copies — no per-bit branch on either side.
-///
-/// The caller must have reserved at least `window` elements of spare
-/// capacity in `out` (the decoder reserves `element_count` up front).
-#[cfg(target_endian = "little")]
-#[inline]
-fn decode_window(mask: u32, window: usize, payload: &[u8], out: &mut Vec<f32>) {
-    debug_assert!(payload.len() == mask.count_ones() as usize * 4);
-    debug_assert!(out.capacity() - out.len() >= window);
-    // SAFETY: the reservation above guarantees `window` elements of spare
-    // capacity; every byte of that span is written exactly once (gaps by
-    // `write_bytes`, runs by `copy_nonoverlapping`) before `set_len`
-    // publishes it; all-zero bytes are a valid `f32` (0.0), and on a
-    // little-endian target the wire bytes are the in-memory representation.
-    unsafe {
-        let dst = out.as_mut_ptr().add(out.len()).cast::<u8>();
-        if mask == 0 {
-            core::ptr::write_bytes(dst, 0, window * 4);
-        } else if mask.count_ones() as usize == window {
-            core::ptr::copy_nonoverlapping(payload.as_ptr(), dst, window * 4);
-        } else {
-            let mut m = mask;
-            let mut next = 0usize; // next element index within the window
-            let mut taken = 0usize; // payload bytes consumed
-            while m != 0 {
-                let start = m.trailing_zeros() as usize;
-                core::ptr::write_bytes(dst.add(next * 4), 0, (start - next) * 4);
-                let run = (m >> start).trailing_ones() as usize;
-                core::ptr::copy_nonoverlapping(
-                    payload.as_ptr().add(taken),
-                    dst.add(start * 4),
-                    run * 4,
-                );
-                taken += run * 4;
-                next = start + run;
-                m = if next >= 32 {
-                    0
-                } else {
-                    m & (u32::MAX << next)
-                };
-            }
-            core::ptr::write_bytes(dst.add(next * 4), 0, (window - next) * 4);
-        }
-        out.set_len(out.len() + window);
-    }
-}
-
-/// Big-endian fallback: the same run decoding through safe appends, with
-/// per-word little-endian deserialization.
-#[cfg(not(target_endian = "little"))]
-#[inline]
-fn decode_window(mask: u32, window: usize, payload: &[u8], out: &mut Vec<f32>) {
-    let mut m = mask;
-    let mut next = 0usize;
-    let mut taken = 0usize;
-    while m != 0 {
-        let start = m.trailing_zeros() as usize;
-        out.resize(out.len() + (start - next), 0.0);
-        let run = (m >> start).trailing_ones() as usize;
-        out.extend(
-            payload[taken..taken + run * 4]
-                .chunks_exact(4)
-                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
-        );
-        taken += run * 4;
-        next = start + run;
-        m = if next >= 32 {
-            0
-        } else {
-            m & (u32::MAX << next)
-        };
-    }
-    out.resize(out.len() + (window - next), 0.0);
+pub fn sector_mask(sector: &[f32; 8]) -> u8 {
+    (portable::window_mask(sector) & 0xff) as u8
 }
 
 impl Zvc {
@@ -263,7 +113,10 @@ impl Zvc {
         let full_windows = data.len() / ZVC_WINDOW_ELEMS;
         let tail = data.len() % ZVC_WINDOW_ELEMS;
         let masks = (full_windows + usize::from(tail > 0)) * 4;
-        let nonzeros: usize = window_bits(data).iter().map(|w| usize::from(*w != 0)).sum();
+        let nonzeros: usize = portable::window_bits(data)
+            .iter()
+            .map(|w| usize::from(*w != 0))
+            .sum();
         masks + nonzeros * 4
     }
 }
@@ -274,11 +127,7 @@ impl Compressor for Zvc {
     }
 
     fn compress_append(&self, data: &[f32], out: &mut Vec<u8>) {
-        // O(1) worst-case bound (all words non-zero) — the exact analytic
-        // size would cost a full extra pass over `data`. The reservation is
-        // what lets the kernel write through a raw cursor below.
-        out.reserve(data.len() * 4 + data.len().div_ceil(ZVC_WINDOW_ELEMS) * 4);
-        compress_append_runs(data, out);
+        Kernel::active().compress_append(data, out);
     }
 
     fn decompress_append(
@@ -287,59 +136,7 @@ impl Compressor for Zvc {
         element_count: usize,
         out: &mut Vec<f32>,
     ) -> Result<(), DecodeError> {
-        out.reserve(element_count);
-        let base = out.len();
-        let mut pos = 0usize;
-        while out.len() - base < element_count {
-            if pos + 4 > bytes.len() {
-                return Err(DecodeError::Truncated {
-                    expected: element_count,
-                    decoded: out.len() - base,
-                });
-            }
-            let mask =
-                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
-            pos += 4;
-            let window = (element_count - (out.len() - base)).min(ZVC_WINDOW_ELEMS);
-            if window < ZVC_WINDOW_ELEMS && (mask >> window) != 0 {
-                return Err(DecodeError::Corrupt("mask bits set beyond final window"));
-            }
-            let payload = mask.count_ones() as usize * 4;
-            if pos + payload > bytes.len() {
-                // Cold path: the payload is truncated mid-window. Walk the
-                // window element by element like the scalar reference so the
-                // partial output and the `Truncated` fields match it exactly.
-                for i in 0..window {
-                    if mask & (1 << i) != 0 {
-                        if pos + 4 > bytes.len() {
-                            return Err(DecodeError::Truncated {
-                                expected: element_count,
-                                decoded: out.len() - base,
-                            });
-                        }
-                        let v = f32::from_le_bytes([
-                            bytes[pos],
-                            bytes[pos + 1],
-                            bytes[pos + 2],
-                            bytes[pos + 3],
-                        ]);
-                        pos += 4;
-                        out.push(v);
-                    } else {
-                        out.push(0.0);
-                    }
-                }
-                continue;
-            }
-            decode_window(mask, window, &bytes[pos..pos + payload], out);
-            pos += payload;
-        }
-        if pos != bytes.len() {
-            return Err(DecodeError::TrailingData {
-                expected: element_count,
-            });
-        }
-        Ok(())
+        Kernel::active().decompress_append(bytes, element_count, out)
     }
 
     fn compressed_size(&self, data: &[f32]) -> usize {
@@ -355,11 +152,11 @@ impl Compressor for Zvc {
 }
 
 /// The pre-vectorization per-element ZVC codec, kept verbatim as the
-/// reference oracle: the word-at-a-time kernels must produce byte-identical
-/// streams and identical error behaviour (the property tests in this module
-/// assert exactly that), and the streaming benchmark uses it as its
-/// "before" baseline. Not part of the public API — hidden from docs and
-/// exempt from semver expectations.
+/// reference oracle: every kernel tier must produce byte-identical
+/// streams and identical error behaviour (the differential suite in
+/// `tests/kernel_tiers.rs` asserts exactly that, per tier), and the
+/// streaming benchmark uses it as its "before" baseline. Not part of the
+/// public API — hidden from docs and exempt from semver expectations.
 #[doc(hidden)]
 pub mod scalar_reference {
     use super::{DecodeError, ZVC_WINDOW_ELEMS};
@@ -392,7 +189,7 @@ pub mod scalar_reference {
     /// # Errors
     ///
     /// Returns the same [`DecodeError`]s, with the same fields and partial
-    /// output, as the word-at-a-time decoder.
+    /// output, as the kernel-tier decoders.
     pub fn decompress_append(
         bytes: &[u8],
         element_count: usize,
@@ -461,8 +258,9 @@ mod tests {
         }
     }
 
-    /// Asserts the fast kernels agree with the scalar oracle on `data`:
+    /// Asserts the active kernel agrees with the scalar oracle on `data`:
     /// byte-identical stream, identical decode, identical size accounting.
+    /// (The per-tier sweep lives in `tests/kernel_tiers.rs`.)
     fn assert_matches_scalar(data: &[f32]) {
         let zvc = Zvc::new();
         let fast = zvc.compress(data);
@@ -549,6 +347,26 @@ mod tests {
     fn negative_zero_is_preserved() {
         // -0.0 has non-zero bits and must survive the round-trip exactly.
         roundtrip(&[-0.0, 0.0, -0.0]);
+    }
+
+    #[test]
+    fn sector_mask_counts_bit_patterns_not_values() {
+        assert_eq!(sector_mask(&[0.0; 8]), 0);
+        assert_eq!(sector_mask(&[1.0; 8]), 0xFF);
+        assert_eq!(
+            sector_mask(&[-0.0, 0.0, f32::NAN, 0.0, 1.0e-40, 0.0, 0.0, 2.0]),
+            0b1001_0101
+        );
+    }
+
+    #[test]
+    fn kernel_info_names_a_supported_tier() {
+        let info = kernel_info();
+        assert!(Kernel::supported().iter().any(|k| k.tier() == info.tier));
+        // Display carries the provenance either way.
+        let shown = info.to_string();
+        assert!(shown.contains(info.tier.name()));
+        assert!(shown.contains("detected") || shown.contains("forced"));
     }
 
     #[test]

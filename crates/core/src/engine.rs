@@ -21,7 +21,8 @@ pub struct CdmaEngine {
     cfg: SystemConfig,
     algorithm: Algorithm,
     window_bytes: usize,
-    /// Worker threads for window compression; 1 = sequential.
+    /// Worker threads for window compression; 1 = sequential, 0 = one per
+    /// available core (resolved by the compress crate's worker pool).
     threads: usize,
 }
 
@@ -146,14 +147,13 @@ impl CdmaEngine {
 
     /// Opts in to parallel window compression with up to `threads` workers
     /// (the software analogue of the engine's per-memory-controller
-    /// compressor units). Small transfers still compress sequentially; the
-    /// compressed stream is bit-identical either way.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
+    /// compressor units), run on the compress crate's persistent worker
+    /// pool. `threads == 0` resolves to one worker per available core —
+    /// the same convention as
+    /// [`windowed::WindowedStream::compress_parallel`]. Small transfers
+    /// still compress sequentially; the compressed stream is bit-identical
+    /// either way.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be at least 1");
         self.threads = threads;
         self
     }
@@ -267,10 +267,13 @@ impl CdmaEngine {
     /// `recycled` (cleared first), in parallel when opted in.
     fn compress_windows(&self, data: &[f32], recycled: &mut windowed::WindowedStream) {
         let codec = self.algorithm.codec();
-        if self.threads > 1 {
-            recycled.recompress_parallel(&codec, data, self.window_bytes, self.threads);
-        } else {
+        if self.threads == 1 {
             recycled.recompress(&codec, data, self.window_bytes);
+        } else {
+            // 0 (auto) and >1 both go to the pool-backed pipeline, which
+            // resolves the auto convention and falls back sequentially for
+            // small inputs.
+            recycled.recompress_parallel(&codec, data, self.window_bytes, self.threads);
         }
     }
 
@@ -380,16 +383,19 @@ mod tests {
         let cfg = SystemConfig::titan_x_pcie3();
         for alg in Algorithm::ALL {
             let seq = CdmaEngine::new(cfg, alg).memcpy_compressed(&data);
-            let par = CdmaEngine::new(cfg, alg)
-                .with_threads(4)
-                .memcpy_compressed(&data);
-            assert_eq!(seq.wire_bytes(), par.wire_bytes(), "{alg}");
-            assert_eq!(seq.transfer, par.transfer, "{alg}");
-            assert_eq!(
-                par.stream().as_bytes(),
-                seq.stream().as_bytes(),
-                "{alg} parallel stream must be bit-identical"
-            );
+            // 0 = auto (one per core); explicit counts exercise the pool.
+            for threads in [0usize, 4] {
+                let par = CdmaEngine::new(cfg, alg)
+                    .with_threads(threads)
+                    .memcpy_compressed(&data);
+                assert_eq!(seq.wire_bytes(), par.wire_bytes(), "{alg} x{threads}");
+                assert_eq!(seq.transfer, par.transfer, "{alg} x{threads}");
+                assert_eq!(
+                    par.stream().as_bytes(),
+                    seq.stream().as_bytes(),
+                    "{alg} x{threads} parallel stream must be bit-identical"
+                );
+            }
         }
     }
 

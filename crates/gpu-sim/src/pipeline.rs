@@ -108,20 +108,17 @@ impl ZvcCompressPipeline {
                 mask: s1.mask,
             });
         }
-        // Stage 1: parallel zero compare + prefix sum. Like the hardware's
-        // eight simultaneous comparators (and the word-at-a-time software
-        // codec), the comparisons fold into the sector mask with shifts —
-        // no per-word branch — and the prefix sums drop out of the mask as
-        // popcounts of the bits below each lane.
+        // Stage 1: parallel zero compare + prefix sum. The mask is the
+        // codec's own [`cdma_compress::sector_mask`] — the model and the
+        // SIMD kernels share one definition of the hardware's eight
+        // simultaneous comparators — and the prefix sums drop out of the
+        // mask as popcounts of the bits below each lane.
         if let Some(words_f) = input {
             let mut words = [0u32; WORDS_PER_SECTOR];
             for (w, v) in words.iter_mut().zip(&words_f) {
                 *w = v.to_bits();
             }
-            let mut mask = 0u8;
-            for (i, w) in words.iter().enumerate() {
-                mask |= u8::from(*w != 0) << i;
-            }
+            let mask = cdma_compress::sector_mask(&words_f);
             let mut prefix = [0u8; WORDS_PER_SECTOR];
             for (i, p) in prefix.iter_mut().enumerate() {
                 *p = (mask & ((1u8 << i) - 1)).count_ones() as u8;

@@ -5,7 +5,7 @@
 //! simulator — call [`execute`], so the bytes a job produces are
 //! identical whichever driver ran it.
 
-use cdma_compress::{Codec, Compressor};
+use cdma_compress::{windowed, Codec, Compressor};
 
 use crate::proto::{JobKind, Request, Response};
 
@@ -49,11 +49,10 @@ pub(crate) fn execute(
     let mut error = None;
     let (uncompressed_bytes, wire_bytes) = match req.kind {
         JobKind::Compress => {
-            offsets.push(0);
-            for window in req.words.chunks(window_elems) {
-                codec.compress_append(window, &mut bytes);
-                offsets.push(bytes.len() as u32);
-            }
+            // The shared windowed append path: one implementation of the
+            // offset-table layout for the server and the engine, and ZVC
+            // windows land in the SIMD kernel tiers.
+            windowed::append_windows(codec, &req.words, window_elems, &mut bytes, &mut offsets);
             ((req.words.len() * 4) as u64, bytes.len() as u64)
         }
         JobKind::Decompress => {
