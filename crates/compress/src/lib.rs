@@ -14,6 +14,13 @@
 //!   for the paper's zlib upper bound. Too slow/complex for a 100 GB/s
 //!   hardware engine; included to quantify what ZVC leaves on the table.
 //!
+//! A fourth codec, [`Csc`] — EIE-style compressed-sparse-column weight
+//! streams with 4-bit relative indices and an automatic codebook mode —
+//! serves the inference extension (`cdma-infer`). It is wired through
+//! [`Algorithm::EXTENDED`] but deliberately kept out of
+//! [`Algorithm::ALL`], so the paper-grid figures stay pinned to the
+//! paper's three candidates.
+//!
 //! All compressors implement [`Compressor`], operate on `f32` activation
 //! words (the paper's data type), and are **lossless**: decode(encode(x))
 //! == x bit-for-bit, which the test suite and property tests enforce.
@@ -89,6 +96,7 @@
 
 mod algorithm;
 mod bitio;
+mod csc;
 mod error;
 pub mod pool;
 mod rle;
@@ -99,6 +107,7 @@ mod zlib;
 mod zvc;
 
 pub use algorithm::{Algorithm, Codec, Compressor};
+pub use csc::{Csc, CscNonzeros};
 pub use error::DecodeError;
 pub use rle::Rle;
 pub use stats::CompressionStats;

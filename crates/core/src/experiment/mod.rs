@@ -27,6 +27,7 @@
 mod cluster;
 mod density;
 mod grid;
+mod inference;
 mod serving;
 mod system;
 mod timeline;
@@ -43,6 +44,9 @@ pub use density::{
 pub use grid::{
     fig03, fig11, fig12, fig13, headline, Fig03Report, Fig11Report, Fig11Row, Fig12Report,
     Fig12Row, Fig13Report, Fig13Row, Fig3Row, Headline, PerfConfig,
+};
+pub use inference::{
+    fig_inference, InferEnergyRow, InferServeRow, InferSpeedupRow, InferTrafficRow, InferenceReport,
 };
 pub use serving::{serve_load, ServeLoadReport, ServePhase};
 pub use system::{
@@ -152,6 +156,10 @@ pub const CATALOGUE: &[ExperimentInfo] = &[
         name: "serve_load",
         title: "cdma-serve: multi-tenant load harness — latency, sheds, fairness",
     },
+    ExperimentInfo {
+        name: "fig_inference",
+        title: "cdma-infer: CSC inference — speedup vs density, traffic, serving, energy",
+    },
 ];
 
 /// The catalogue's experiment names, in run order.
@@ -188,6 +196,7 @@ pub fn run(
         "training_run" => Box::new(training::training_runs(ctx, runner, filter)),
         "ablations" => Box::new(system::ablations(ctx, runner)),
         "serve_load" => Box::new(serving::serve_load(ctx)),
+        "fig_inference" => Box::new(inference::fig_inference(ctx, runner, filter)),
         _ => return None,
     })
 }
@@ -200,7 +209,7 @@ mod tests {
     #[test]
     fn catalogue_names_are_unique_and_dispatchable() {
         let names = names();
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
         for (i, n) in names.iter().enumerate() {
             assert!(!names[..i].contains(n), "duplicate {n}");
         }

@@ -42,6 +42,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use cdma_compress::Algorithm;
 use cdma_gpusim::SystemConfig;
+use cdma_infer::InferEngine;
 use cdma_models::profiles::{self, NetworkProfile};
 use cdma_models::{zoo, NetworkSpec};
 use cdma_tensor::Layout;
@@ -77,13 +78,21 @@ pub struct Scenario {
     /// Shared-link arbitration policy (only observable when `gpus > 1` or
     /// tenants share the link).
     pub link_policy: LinkPolicy,
+    /// Inference engine (only observable in the inference experiments;
+    /// the training figures run at the `Dense` default).
+    pub engine: InferEngine,
+    /// Inference batch size (batch 1 = latency-bound serving; the
+    /// training figures use the network's own minibatch and ignore this).
+    pub batch: usize,
 }
 
 impl Scenario {
     /// A compact human-readable label (`AlexNet/NCHW/ZV@0.5`, with an
-    /// ` x4` suffix on multi-GPU cells).
+    /// ` x4` suffix on multi-GPU cells and a `csc+act b32` suffix on
+    /// non-default inference cells — default axes stay invisible so
+    /// every pre-inference golden label is unchanged).
     pub fn label(&self) -> String {
-        let base = format!(
+        let mut base = format!(
             "{}/{}/{}@{}",
             self.network,
             self.layout,
@@ -91,10 +100,15 @@ impl Scenario {
             self.checkpoint
         );
         if self.gpus > 1 {
-            format!("{base} x{}", self.gpus)
-        } else {
-            base
+            base = format!("{base} x{}", self.gpus);
         }
+        if self.engine != InferEngine::Dense {
+            base = format!("{base} {}", self.engine.label());
+        }
+        if self.batch != 1 {
+            base = format!("{base} b{}", self.batch);
+        }
+        base
     }
 }
 
@@ -185,6 +199,8 @@ pub struct ScenarioBuilder {
     config: SystemConfig,
     gpu_counts: Vec<usize>,
     link_policies: Vec<LinkPolicy>,
+    engines: Vec<InferEngine>,
+    batches: Vec<usize>,
 }
 
 impl Default for ScenarioBuilder {
@@ -202,6 +218,8 @@ impl Default for ScenarioBuilder {
             config: SystemConfig::titan_x_pcie3(),
             gpu_counts: vec![1],
             link_policies: vec![LinkPolicy::BandwidthShare],
+            engines: vec![InferEngine::Dense],
+            batches: vec![1],
         }
     }
 }
@@ -292,6 +310,45 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the inference-engine axis (the `fig_inference` sweep passes
+    /// [`InferEngine::ALL`]).
+    ///
+    /// ```
+    /// use cdma_core::scenario::ScenarioSet;
+    /// use cdma_infer::InferEngine;
+    ///
+    /// let set = ScenarioSet::builder()
+    ///     .networks(["AlexNet"])
+    ///     .engines(InferEngine::ALL)
+    ///     .build();
+    /// assert_eq!(set.len(), 3);
+    /// assert_eq!(set.scenarios()[2].engine, InferEngine::CscAct);
+    /// assert!(set.scenarios()[2].label().ends_with("csc+act"));
+    /// ```
+    pub fn engines<I: IntoIterator<Item = InferEngine>>(mut self, engines: I) -> Self {
+        self.engines = engines.into_iter().collect();
+        self
+    }
+
+    /// Sets the inference batch-size axis (batch 1 = latency-bound,
+    /// larger = throughput-bound serving).
+    ///
+    /// ```
+    /// use cdma_core::scenario::ScenarioSet;
+    ///
+    /// let set = ScenarioSet::builder()
+    ///     .networks(["AlexNet"])
+    ///     .batches([1, 32])
+    ///     .build();
+    /// assert_eq!(set.len(), 2);
+    /// assert_eq!(set.scenarios()[1].batch, 32);
+    /// assert!(set.scenarios()[1].label().ends_with("b32"));
+    /// ```
+    pub fn batches<I: IntoIterator<Item = usize>>(mut self, batches: I) -> Self {
+        self.batches = batches.into_iter().collect();
+        self
+    }
+
     /// Materializes the cartesian product.
     pub fn build(self) -> ScenarioSet {
         let mut scenarios = Vec::with_capacity(
@@ -301,7 +358,9 @@ impl ScenarioBuilder {
                 * self.fidelities.len()
                 * self.checkpoints.len()
                 * self.gpu_counts.len()
-                * self.link_policies.len(),
+                * self.link_policies.len()
+                * self.engines.len()
+                * self.batches.len(),
         );
         for network in &self.networks {
             for &layout in &self.layouts {
@@ -310,17 +369,23 @@ impl ScenarioBuilder {
                         for &checkpoint in &self.checkpoints {
                             for &gpus in &self.gpu_counts {
                                 for &link_policy in &self.link_policies {
-                                    scenarios.push(Scenario {
-                                        network: network.clone(),
-                                        layout,
-                                        algorithm,
-                                        fidelity,
-                                        checkpoint,
-                                        seed: self.seed,
-                                        config: self.config,
-                                        gpus,
-                                        link_policy,
-                                    });
+                                    for &engine in &self.engines {
+                                        for &batch in &self.batches {
+                                            scenarios.push(Scenario {
+                                                network: network.clone(),
+                                                layout,
+                                                algorithm,
+                                                fidelity,
+                                                checkpoint,
+                                                seed: self.seed,
+                                                config: self.config,
+                                                gpus,
+                                                link_policy,
+                                                engine,
+                                                batch,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -339,6 +404,8 @@ pub struct ScenarioFilter {
     networks: Vec<String>,
     layouts: Vec<Layout>,
     algorithms: Vec<Algorithm>,
+    engines: Vec<InferEngine>,
+    batches: Vec<usize>,
 }
 
 impl ScenarioFilter {
@@ -348,9 +415,34 @@ impl ScenarioFilter {
     }
 
     /// Parses filter specs of the form `net=AlexNet,VGG`, `layout=nchw`,
-    /// `alg=zv`. Keys may repeat; values are comma-separated and
-    /// case-insensitive. Every value is validated — a typo'd network name
-    /// errors here instead of silently filtering every sweep to empty.
+    /// `alg=zv`, `engine=csc`, `batch=32`. Keys may repeat; values are
+    /// comma-separated and case-insensitive. Every value is validated — a
+    /// typo'd network name errors here instead of silently filtering
+    /// every sweep to empty.
+    ///
+    /// The inference axes round-trip through the same labels the
+    /// scenarios print:
+    ///
+    /// ```
+    /// use cdma_core::scenario::{ScenarioFilter, ScenarioSet};
+    /// use cdma_infer::InferEngine;
+    ///
+    /// let set = ScenarioSet::builder()
+    ///     .networks(["AlexNet"])
+    ///     .engines(InferEngine::ALL)
+    ///     .batches([1, 32])
+    ///     .build();
+    /// let filter = ScenarioFilter::parse(&["engine=csc+act", "batch=32"]).unwrap();
+    /// let hits: Vec<_> = set.scenarios().iter().filter(|s| filter.matches(s)).collect();
+    /// assert_eq!(hits.len(), 1);
+    /// assert_eq!(hits[0].engine, InferEngine::CscAct);
+    /// assert_eq!(hits[0].batch, 32);
+    /// // ...and the label suffix parses back as a filter value.
+    /// let suffix = hits[0].label();
+    /// let engine_label = InferEngine::CscAct.label();
+    /// assert!(suffix.contains(engine_label));
+    /// assert!(ScenarioFilter::parse(&[format!("engine={engine_label}")]).is_ok());
+    /// ```
     pub fn parse<S: AsRef<str>>(specs: &[S]) -> Result<Self, String> {
         let mut filter = ScenarioFilter::default();
         for spec in specs {
@@ -363,9 +455,11 @@ impl ScenarioFilter {
                     "net" | "network" => filter.networks.push(parse_network(value)?),
                     "layout" => filter.layouts.push(parse_layout(value)?),
                     "alg" | "algorithm" => filter.algorithms.push(parse_algorithm(value)?),
+                    "engine" => filter.engines.push(parse_engine(value)?),
+                    "batch" => filter.batches.push(parse_batch(value)?),
                     other => {
                         return Err(format!(
-                            "unknown filter key {other:?} (expected net|layout|alg)"
+                            "unknown filter key {other:?} (expected net|layout|alg|engine|batch)"
                         ))
                     }
                 }
@@ -393,9 +487,25 @@ impl ScenarioFilter {
         self
     }
 
+    /// Restricts the inference-engine axis (builder-style convenience).
+    pub fn engine(mut self, engine: InferEngine) -> Self {
+        self.engines.push(engine);
+        self
+    }
+
+    /// Restricts the inference batch axis (builder-style convenience).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batches.push(batch);
+        self
+    }
+
     /// Whether every axis is unrestricted.
     pub fn is_empty(&self) -> bool {
-        self.networks.is_empty() && self.layouts.is_empty() && self.algorithms.is_empty()
+        self.networks.is_empty()
+            && self.layouts.is_empty()
+            && self.algorithms.is_empty()
+            && self.engines.is_empty()
+            && self.batches.is_empty()
     }
 
     /// Whether `scenario` passes every axis.
@@ -403,6 +513,8 @@ impl ScenarioFilter {
         self.matches_network(&scenario.network)
             && (self.layouts.is_empty() || self.layouts.contains(&scenario.layout))
             && (self.algorithms.is_empty() || self.algorithms.contains(&scenario.algorithm))
+            && (self.engines.is_empty() || self.engines.contains(&scenario.engine))
+            && (self.batches.is_empty() || self.batches.contains(&scenario.batch))
     }
 
     /// Whether the network axis admits `name` (for drivers that loop over
@@ -432,13 +544,27 @@ fn parse_layout(s: &str) -> Result<Layout, String> {
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
     let wanted = s.to_ascii_lowercase();
-    Algorithm::ALL
+    Algorithm::EXTENDED
         .into_iter()
         .find(|a| {
             a.label().eq_ignore_ascii_case(&wanted)
                 || format!("{a:?}").eq_ignore_ascii_case(&wanted)
         })
-        .ok_or_else(|| format!("unknown algorithm {s:?} (expected rl|zv|zl or rle|zvc|zlib)"))
+        .ok_or_else(|| {
+            format!("unknown algorithm {s:?} (expected rl|zv|zl|cs or rle|zvc|zlib|csc)")
+        })
+}
+
+fn parse_engine(s: &str) -> Result<InferEngine, String> {
+    s.parse::<InferEngine>()
+        .map_err(|_| format!("unknown engine {s:?} (expected dense|csc|csc+act)"))
+}
+
+fn parse_batch(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .ok()
+        .filter(|&b| b > 0)
+        .ok_or_else(|| format!("batch {s:?} is not a positive integer"))
 }
 
 /// Cache-effectiveness counters of a [`Context`].

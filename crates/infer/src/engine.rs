@@ -1,0 +1,103 @@
+//! The inference-engine axis: which sparsity the engine exploits.
+
+/// How an inference run stores its weights and schedules its MACs — the
+/// axis the `fig_inference` experiment sweeps, mirroring EIE's dense /
+/// compressed comparison plus SparseNN's activation-sparsity extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InferEngine {
+    /// Dense weights, every MAC executed: the GPU-style baseline. One
+    /// weight column costs `ceil(rows / PEs)` cycles regardless of
+    /// content.
+    #[default]
+    Dense,
+    /// CSC-compressed weights (EIE): each PE walks only the retained
+    /// entries of its row slice, so work per column is its nonzero
+    /// count and speedup is bounded by inter-PE load imbalance.
+    Csc,
+    /// CSC weights *and* leading-nonzero detection over the input
+    /// activations (SparseNN): zero activations are never broadcast, so
+    /// whole columns of MACs disappear on top of weight sparsity.
+    CscAct,
+}
+
+impl InferEngine {
+    /// Every engine, dense baseline first — sweep order for experiments.
+    pub const ALL: [InferEngine; 3] = [InferEngine::Dense, InferEngine::Csc, InferEngine::CscAct];
+
+    /// Short label used in scenario strings, filters, and report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            InferEngine::Dense => "dense",
+            InferEngine::Csc => "csc",
+            InferEngine::CscAct => "csc+act",
+        }
+    }
+
+    /// Whether this engine reads CSC-compressed weight streams.
+    pub fn compressed_weights(self) -> bool {
+        !matches!(self, InferEngine::Dense)
+    }
+
+    /// Whether this engine skips zero input activations.
+    pub fn skips_zero_activations(self) -> bool {
+        matches!(self, InferEngine::CscAct)
+    }
+}
+
+impl std::fmt::Display for InferEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for InferEngine {
+    type Err = String;
+
+    /// Parses a label as written by [`InferEngine::label`] (plus the
+    /// punctuation-free spellings `cscact` / `csc-act`).
+    ///
+    /// ```
+    /// use cdma_infer::InferEngine;
+    ///
+    /// for e in InferEngine::ALL {
+    ///     assert_eq!(e.label().parse::<InferEngine>().unwrap(), e);
+    /// }
+    /// assert!("tpu".parse::<InferEngine>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "dense" => Ok(InferEngine::Dense),
+            "csc" => Ok(InferEngine::Csc),
+            "csc+act" | "cscact" | "csc-act" => Ok(InferEngine::CscAct),
+            other => Err(format!(
+                "unknown inference engine '{other}' (expected dense, csc, or csc+act)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for e in InferEngine::ALL {
+            assert_eq!(e.label().parse::<InferEngine>().unwrap(), e);
+            assert_eq!(e.to_string(), e.label());
+        }
+        assert_eq!(
+            "CSC-ACT".parse::<InferEngine>().unwrap(),
+            InferEngine::CscAct
+        );
+        assert!("".parse::<InferEngine>().is_err());
+    }
+
+    #[test]
+    fn capability_flags_match_engines() {
+        assert!(!InferEngine::Dense.compressed_weights());
+        assert!(InferEngine::Csc.compressed_weights());
+        assert!(!InferEngine::Csc.skips_zero_activations());
+        assert!(InferEngine::CscAct.skips_zero_activations());
+    }
+}

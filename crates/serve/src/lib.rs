@@ -66,10 +66,11 @@ pub mod server;
 pub mod sim;
 
 pub use error::ServeError;
+pub use exec::{DefaultKernel, JobKernel, OutputBufs};
 pub use harness::run_wall;
 pub use loadgen::{fill_activations, Arrival, Schedule, TenantLoad};
 pub use metrics::{LatencyStats, LoadReport, TenantLoadReport};
 pub use proto::{JobKind, Request, Response, TenantId};
 pub use sched::{TenantCounters, TenantScheduler, TenantSpec};
 pub use server::{Completion, Server, ServerConfig, ServerStats};
-pub use sim::{run_virtual, ServiceModel};
+pub use sim::{run_virtual, run_virtual_with_kernel, ServiceModel};

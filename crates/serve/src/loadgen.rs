@@ -15,6 +15,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::proto::JobKind;
 use crate::sched::TenantSpec;
 
 /// Offered load description for one tenant.
@@ -29,6 +30,11 @@ pub struct TenantLoad {
     pub size_mix: Vec<(usize, f64)>,
     /// Fraction of zero-valued activations in generated payloads.
     pub zero_density: f64,
+    /// The job kind this tenant submits ([`JobKind::Compress`] by
+    /// default; [`JobKind::Infer`] via [`TenantLoad::inference`]).
+    pub kind: JobKind,
+    /// Output activations per inference request (infer tenants only).
+    pub infer_out_elems: u32,
 }
 
 impl TenantLoad {
@@ -41,7 +47,25 @@ impl TenantLoad {
             rate,
             size_mix: vec![(1024, 1.0)],
             zero_density: 0.6,
+            kind: JobKind::Compress,
+            infer_out_elems: 0,
         }
+    }
+
+    /// Turns this tenant's jobs into inference requests producing
+    /// `out_elems` output activations each. The generated payload stays
+    /// an activation vector at the configured size/zero-density — for a
+    /// matvec kernel, size the tensor mix to the weight matrix's column
+    /// count (times the batch) and `out_elems` to its row count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero output size.
+    pub fn inference(mut self, out_elems: u32) -> Self {
+        assert!(out_elems > 0, "inference output must be non-empty");
+        self.kind = JobKind::Infer;
+        self.infer_out_elems = out_elems;
+        self
     }
 
     /// Replaces the tensor-size mix.

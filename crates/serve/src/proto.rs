@@ -37,6 +37,13 @@ pub enum JobKind {
     /// Decompress a previously compressed stream back into activation
     /// words (the prefetch direction).
     Decompress,
+    /// Run an inference kernel over the frame's activation words (an
+    /// input-activation vector, or a batch packed back to back) and
+    /// return the output activations. The default kernel rejects this
+    /// kind; servers started with an inference-capable
+    /// [`JobKernel`](crate::JobKernel) (e.g. `cdma-infer`'s CSC matvec)
+    /// execute it on the same worker pool as compress/decompress jobs.
+    Infer,
 }
 
 impl JobKind {
@@ -44,6 +51,7 @@ impl JobKind {
         match self {
             JobKind::Compress => 0,
             JobKind::Decompress => 1,
+            JobKind::Infer => 2,
         }
     }
 
@@ -51,6 +59,7 @@ impl JobKind {
         match c {
             0 => Some(JobKind::Compress),
             1 => Some(JobKind::Decompress),
+            2 => Some(JobKind::Infer),
             _ => None,
         }
     }
@@ -61,6 +70,7 @@ fn algorithm_code(a: Algorithm) -> u8 {
         Algorithm::Rle => 0,
         Algorithm::Zvc => 1,
         Algorithm::Zlib => 2,
+        Algorithm::Csc => 3,
     }
 }
 
@@ -69,6 +79,7 @@ fn algorithm_from_code(c: u8) -> Option<Algorithm> {
         0 => Some(Algorithm::Rle),
         1 => Some(Algorithm::Zvc),
         2 => Some(Algorithm::Zlib),
+        3 => Some(Algorithm::Csc),
         _ => None,
     }
 }
@@ -84,14 +95,16 @@ pub struct Request {
     pub algorithm: Algorithm,
     /// Compress or decompress.
     pub kind: JobKind,
-    /// Raw activation words ([`JobKind::Compress`] input; empty for
-    /// decompress requests).
+    /// Raw activation words ([`JobKind::Compress`] and [`JobKind::Infer`]
+    /// input; empty for decompress requests).
     pub words: Vec<f32>,
     /// Compressed stream of one window ([`JobKind::Decompress`] input;
-    /// empty for compress requests).
+    /// empty for compress and infer requests).
     pub bytes: Vec<u8>,
-    /// Element count of the compressed stream (decompress only — like a
-    /// DMA descriptor, the transfer length travels outside the payload).
+    /// Element count of the *output* ([`JobKind::Decompress`]: the
+    /// decoded word count; [`JobKind::Infer`]: output activations per
+    /// input vector). Travels outside the payload, like the transfer
+    /// length in a DMA descriptor.
     pub elements: u32,
 }
 
@@ -129,14 +142,40 @@ impl Request {
         }
     }
 
+    /// An inference request: run the installed kernel over `words` (one
+    /// input-activation vector, or a whole batch packed contiguously)
+    /// and return `out_elements` output activations per input vector.
+    /// `algorithm` names the weight-stream codec the kernel reads from,
+    /// so per-tenant wire accounting stays comparable with
+    /// compress/decompress traffic.
+    pub fn infer(
+        tenant: TenantId,
+        id: u64,
+        algorithm: Algorithm,
+        words: Vec<f32>,
+        out_elements: u32,
+    ) -> Self {
+        Request {
+            tenant,
+            id,
+            algorithm,
+            kind: JobKind::Infer,
+            words,
+            bytes: Vec::new(),
+            elements: out_elements,
+        }
+    }
+
     /// The request's *uncompressed* footprint in bytes — what admission
     /// control reserves in the staging pool, exactly as the DMA engine
     /// reserves the worst case because it "does not know a priori which
-    /// responses will be compressed or not".
+    /// responses will be compressed or not". Inference jobs reserve
+    /// input plus output activations.
     pub fn footprint_bytes(&self) -> u64 {
         match self.kind {
             JobKind::Compress => (self.words.len() * 4) as u64,
             JobKind::Decompress => u64::from(self.elements) * 4,
+            JobKind::Infer => (self.words.len() * 4) as u64 + u64::from(self.elements) * 4,
         }
     }
 }
@@ -483,5 +522,29 @@ mod tests {
         assert_eq!(c.footprint_bytes(), 4096);
         let d = Request::decompress(TenantId(0), 0, Algorithm::Zvc, vec![0; 8], 1024);
         assert_eq!(d.footprint_bytes(), 4096);
+        // Inference reserves input + output activations.
+        let i = Request::infer(TenantId(0), 0, Algorithm::Csc, vec![0.0; 1024], 256);
+        assert_eq!(i.footprint_bytes(), 4096 + 1024);
+    }
+
+    #[test]
+    fn infer_frames_roundtrip() {
+        let req = Request::infer(
+            TenantId(5),
+            99,
+            Algorithm::Csc,
+            vec![0.0, 2.5, -0.0, 1.0],
+            1000,
+        );
+        let mut wire = Vec::new();
+        encode_request(&req, &mut wire);
+        let back = decode_request(&wire).unwrap();
+        assert_eq!(back.kind, JobKind::Infer);
+        assert_eq!(back.algorithm, Algorithm::Csc);
+        assert_eq!(back.elements, 1000);
+        assert_eq!(back.words.len(), 4);
+        for (a, b) in back.words.iter().zip(&req.words) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

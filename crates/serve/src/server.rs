@@ -30,7 +30,7 @@ use cdma_gpusim::staging::StagingPool;
 use cdma_vdnn::LinkPolicy;
 
 use crate::error::ServeError;
-use crate::exec::{self, OutputBufs};
+use crate::exec::{DefaultKernel, JobKernel, OutputBufs};
 use crate::proto::{Request, Response};
 use crate::sched::{Job, TenantScheduler, TenantSpec};
 
@@ -120,6 +120,7 @@ struct Shared {
     shutdown: AtomicBool,
     steals: AtomicU64,
     out_pool: Mutex<Pool<OutputBufs>>,
+    kernel: Arc<dyn JobKernel>,
 }
 
 impl Shared {
@@ -147,10 +148,8 @@ impl Shared {
         let req = job.req.take().expect("job carries its request");
         let bufs = self.out_pool.lock().unwrap().get();
         let window_elems = (self.config.window_bytes / 4).max(1);
-        // Codec choice travels in the frame; static dispatch makes this a
-        // jump, not an allocation.
-        let codec = req.algorithm.codec();
-        let response = exec::execute(req, &codec, window_elems, bufs);
+        // Codec choice travels in the frame; the kernel resolves it.
+        let response = self.kernel.execute(req, window_elems, bufs);
         self.finish(job.tenant, job.footprint, job.arrival_s, response);
     }
 
@@ -255,6 +254,23 @@ impl Server {
     /// Panics on a zero worker count, zero dispatch batch, a window under
     /// 4 bytes, or an empty/oversized tenant table.
     pub fn start(config: ServerConfig, tenants: Vec<TenantSpec>) -> Self {
+        Server::start_with_kernel(config, tenants, Arc::new(DefaultKernel))
+    }
+
+    /// Starts the worker pool with a custom [`JobKernel`] — the hook
+    /// that lets inference (or any future job kind) share this server's
+    /// admission control, work stealing, and buffer recycling instead of
+    /// standing up a second service. The kernel runs on every worker
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Server::start`].
+    pub fn start_with_kernel(
+        config: ServerConfig,
+        tenants: Vec<TenantSpec>,
+        kernel: Arc<dyn JobKernel>,
+    ) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.dispatch_batch > 0, "dispatch batch must be positive");
         assert!(
@@ -281,6 +297,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             steals: AtomicU64::new(0),
             out_pool: Mutex::new(Pool::with_capacity(config.workers * 2)),
+            kernel,
             config,
         });
         let handles = (0..shared.config.workers)

@@ -20,10 +20,10 @@ use std::collections::BinaryHeap;
 use cdma_compress::pool::Pool;
 use cdma_gpusim::staging::StagingPool;
 
-use crate::exec::{self, OutputBufs};
+use crate::exec::{DefaultKernel, JobKernel, OutputBufs};
 use crate::loadgen::{fill_activations, Schedule, TenantLoad};
 use crate::metrics::{LatencyRecorder, LoadReport, TenantLoadReport};
-use crate::proto::{Request, TenantId};
+use crate::proto::{JobKind, Request, TenantId};
 use crate::sched::TenantScheduler;
 use crate::server::ServerConfig;
 
@@ -99,8 +99,23 @@ pub fn run_virtual(
     seed: u64,
     model: ServiceModel,
 ) -> LoadReport {
+    run_virtual_with_kernel(config, loads, horizon_s, seed, model, &DefaultKernel)
+}
+
+/// [`run_virtual`] with a custom [`JobKernel`] — the virtual-time twin
+/// of [`Server::start_with_kernel`](crate::Server::start_with_kernel),
+/// so inference loads replay through the same admission control and
+/// latency accounting as compression loads.
+pub fn run_virtual_with_kernel(
+    config: &ServerConfig,
+    loads: &[TenantLoad],
+    horizon_s: f64,
+    seed: u64,
+    model: ServiceModel,
+    kernel: &dyn JobKernel,
+) -> LoadReport {
     let schedule = Schedule::generate(loads, horizon_s, seed);
-    run_schedule(config, loads, &schedule, model)
+    run_schedule_with_kernel(config, loads, &schedule, model, kernel)
 }
 
 /// Replays an existing [`Schedule`] (useful when the caller also wants
@@ -110,6 +125,17 @@ pub fn run_schedule(
     loads: &[TenantLoad],
     schedule: &Schedule,
     model: ServiceModel,
+) -> LoadReport {
+    run_schedule_with_kernel(config, loads, schedule, model, &DefaultKernel)
+}
+
+/// [`run_schedule`] with a custom [`JobKernel`].
+pub fn run_schedule_with_kernel(
+    config: &ServerConfig,
+    loads: &[TenantLoad],
+    schedule: &Schedule,
+    model: ServiceModel,
+    kernel: &dyn JobKernel,
 ) -> LoadReport {
     assert!(config.workers > 0, "need at least one worker");
     let specs: Vec<_> = loads.iter().map(|l| l.spec.clone()).collect();
@@ -163,9 +189,8 @@ pub fn run_schedule(
                 };
                 free -= 1;
                 let req = job.req.take().expect("job carries its request");
-                let codec = req.algorithm.codec();
                 let bufs = out_pool.get();
-                let response = exec::execute(req, &codec, window_elems, bufs);
+                let response = kernel.execute(req, window_elems, bufs);
                 word_pool.put(response.input_words);
                 let ev = Ev {
                     t: $now + model.service_s(job.footprint),
@@ -201,19 +226,25 @@ pub fn run_schedule(
             );
             dispatch!(t);
         }
+        let load = &loads[arrival.tenant as usize];
         let mut words = word_pool.get();
         words.resize(arrival.elements, 0.0);
-        fill_activations(
-            arrival.fill_seed,
-            loads[arrival.tenant as usize].zero_density,
-            &mut words,
-        );
-        let req = Request::compress(
-            TenantId(arrival.tenant),
-            next_id as u64,
-            config.algorithm,
-            words,
-        );
+        fill_activations(arrival.fill_seed, load.zero_density, &mut words);
+        let req = match load.kind {
+            JobKind::Infer => Request::infer(
+                TenantId(arrival.tenant),
+                next_id as u64,
+                config.algorithm,
+                words,
+                load.infer_out_elems,
+            ),
+            _ => Request::compress(
+                TenantId(arrival.tenant),
+                next_id as u64,
+                config.algorithm,
+                words,
+            ),
+        };
         match sched.try_enqueue(req, arrival.at_s, &mut pool) {
             Ok(_) => dispatch!(arrival.at_s),
             Err((_, req)) => word_pool.put(req.words),
