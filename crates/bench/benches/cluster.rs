@@ -1,0 +1,160 @@
+//! Datacenter-scale cluster-simulation benchmark: one synchronized
+//! training step at each GPU count on the flat and hierarchical (node8)
+//! fabrics, reporting wall time, events per second, and peak RSS.
+//!
+//! Run with `cargo bench -p cdma-bench --bench cluster`; `--fast` takes
+//! single samples for CI smoke, `--record` appends the headline metrics
+//! to `BENCH_cluster.json` at the workspace root.
+//!
+//! The bench pins the scaling claims of the fabric refactor: a 1024-GPU
+//! step runs with event recording off (aggregates identical, per-GPU
+//! logs skipped), so it completes in bounded memory — peak RSS stays
+//! flat instead of growing with the tens of millions of per-GPU events a
+//! recording run would retain.
+
+use std::time::Instant;
+
+use cdma_bench::trajectory::Trajectory;
+use cdma_gpusim::SystemConfig;
+use cdma_vdnn::cluster::{ClusterSim, Tenant};
+use cdma_vdnn::fabric::FabricShape;
+use cdma_vdnn::{ComputeModel, CudnnVersion, LinkPolicy, UniformRatio};
+
+/// Peak resident-set size (VmHWM) in kilobytes, from `/proc/self/status`
+/// (`None` off Linux — the assertions are skipped there).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+struct Row {
+    fabric: &'static str,
+    gpus: usize,
+    events: u64,
+    wall_s: f64,
+    mevents_per_s: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let record = args.iter().any(|a| a == "--record");
+
+    let cfg = SystemConfig::titan_x_pcie3();
+    let spec = cdma_models::zoo::alexnet();
+    let source = UniformRatio::uniform(&spec, 2.6);
+    let compute = ComputeModel::titan_x(CudnnVersion::V5);
+    let shape = FabricShape::Hierarchical { gpus_per_node: 8 };
+    let sweep: &[usize] = if fast {
+        &[8, 64, 1024]
+    } else {
+        &[8, 64, 256, 1024]
+    };
+    let reps = if fast { 1 } else { 3 };
+
+    println!("one synchronized AlexNet step per sample (event recording off)");
+    println!(
+        "{:<8} {:>6} {:>10} {:>12} {:>14}",
+        "fabric", "gpus", "events", "step wall", "M events/s"
+    );
+    let rss_start_kb = peak_rss_kb();
+    let mut rows: Vec<Row> = Vec::new();
+    for &gpus in sweep {
+        for (label, fabric) in [
+            ("flat", None),
+            (
+                "node8",
+                shape.spec_for(&cfg, gpus, LinkPolicy::BandwidthShare),
+            ),
+        ] {
+            let mut sim =
+                ClusterSim::new(cfg, compute, LinkPolicy::BandwidthShare).record_events(false);
+            if let Some(f) = fabric {
+                sim = sim.with_fabric(f);
+            }
+            let tenants = [Tenant {
+                spec: &spec,
+                source: &source,
+                gpus,
+            }];
+            let mut best = f64::INFINITY;
+            let mut events = 0u64;
+            // One warm-up, then best-of-reps.
+            for _ in 0..=reps {
+                let t0 = Instant::now();
+                let tl = sim.simulate(&tenants);
+                best = best.min(t0.elapsed().as_secs_f64());
+                events = tl.events_processed();
+            }
+            let mevents = events as f64 / best / 1e6;
+            println!(
+                "{label:<8} {gpus:>6} {events:>10} {:>9.2} ms {mevents:>14.2}",
+                best * 1e3
+            );
+            rows.push(Row {
+                fabric: label,
+                gpus,
+                events,
+                wall_s: best,
+                mevents_per_s: mevents,
+            });
+        }
+    }
+
+    // Acceptance: the widest step stays in bounded memory. With event
+    // recording off nothing per-event is retained, so peak RSS must not
+    // have grown by more than a fixed (event-count-independent) bound
+    // across the whole sweep — sublinear in the events processed.
+    if let (Some(start), Some(end)) = (rss_start_kb, peak_rss_kb()) {
+        let grew_mb = end.saturating_sub(start) as f64 / 1024.0;
+        let total_events: u64 = rows.iter().map(|r| r.events).sum();
+        println!(
+            "\npeak RSS grew {grew_mb:.1} MB across {total_events} events \
+             ({:.1} bytes/event ceiling)",
+            grew_mb * 1024.0 * 1024.0 / total_events as f64
+        );
+        assert!(
+            grew_mb < 256.0,
+            "1024-GPU steps are supposed to run in bounded memory, \
+             but peak RSS grew {grew_mb:.1} MB"
+        );
+    }
+
+    // Acceptance: simulation throughput at the widest step. The link
+    // tiers solve a fluid schedule per rate-change interval, so events/s
+    // is the simulator's core scaling metric.
+    let widest = rows
+        .iter()
+        .filter(|r| r.gpus == 1024)
+        .max_by(|a, b| a.mevents_per_s.total_cmp(&b.mevents_per_s))
+        .expect("the sweep always includes g=1024");
+    println!(
+        "widest step: {} g={} at {:.2} M events/s",
+        widest.fabric, widest.gpus, widest.mevents_per_s
+    );
+    assert!(
+        widest.mevents_per_s >= 10.0,
+        "1024-GPU step fell below 10 M events/s ({:.2})",
+        widest.mevents_per_s
+    );
+
+    if record {
+        let mut t = Trajectory::new("cluster");
+        for r in &rows {
+            t.metric(&format!("{}_g{}_step_ms", r.fabric, r.gpus), r.wall_s * 1e3);
+            t.metric(
+                &format!("{}_g{}_mevents_per_s", r.fabric, r.gpus),
+                r.mevents_per_s,
+            );
+        }
+        if let (Some(start), Some(end)) = (rss_start_kb, peak_rss_kb()) {
+            t.metric(
+                "peak_rss_growth_mb",
+                end.saturating_sub(start) as f64 / 1024.0,
+            );
+        }
+        let path = t.append_default().expect("append BENCH_cluster.json");
+        println!("recorded trajectory point in {}", path.display());
+    }
+}

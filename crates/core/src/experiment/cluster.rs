@@ -133,7 +133,7 @@ pub struct MultiGpuReport {
 
 /// Renders one row of the Gantt: '#' columns where any of `spans`
 /// overlaps the bucket.
-fn gantt_row(label: &str, spans: &[(f64, f64)], makespan: f64, cols: usize) -> String {
+pub(super) fn gantt_row(label: &str, spans: &[(f64, f64)], makespan: f64, cols: usize) -> String {
     let mut chars = vec![' '; cols];
     for &(s, e) in spans {
         let lo = ((s / makespan) * cols as f64).floor() as usize;

@@ -25,6 +25,7 @@
 //! ```
 
 mod cluster;
+mod datacenter;
 mod density;
 mod grid;
 mod inference;
@@ -36,6 +37,9 @@ mod training;
 pub use cluster::{
     cluster_timeline, fig_multi_gpu, multi_gpu_row, MultiGpuReport, MultiGpuRow, TenantRow,
     GPU_SWEEP,
+};
+pub use datacenter::{
+    fig_datacenter, ChurnSummary, DatacenterReport, DatacenterRow, DATACENTER_GPU_SWEEP,
 };
 pub use density::{
     density_figure, density_figure_from_profile, fig04, fig05, fig06, fig07, DensityFigure,
@@ -160,6 +164,10 @@ pub const CATALOGUE: &[ExperimentInfo] = &[
         name: "fig_inference",
         title: "cdma-infer: CSC inference — speedup vs density, traffic, serving, energy",
     },
+    ExperimentInfo {
+        name: "fig_datacenter",
+        title: "Datacenter scale: hierarchical fabric sweep and tenant churn",
+    },
 ];
 
 /// The catalogue's experiment names, in run order.
@@ -197,6 +205,7 @@ pub fn run(
         "ablations" => Box::new(system::ablations(ctx, runner)),
         "serve_load" => Box::new(serving::serve_load(ctx)),
         "fig_inference" => Box::new(inference::fig_inference(ctx, runner, filter)),
+        "fig_datacenter" => Box::new(datacenter::fig_datacenter(ctx, runner, filter)),
         _ => return None,
     })
 }
@@ -209,7 +218,7 @@ mod tests {
     #[test]
     fn catalogue_names_are_unique_and_dispatchable() {
         let names = names();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 22);
         for (i, n) in names.iter().enumerate() {
             assert!(!names[..i].contains(n), "duplicate {n}");
         }

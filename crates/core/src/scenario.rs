@@ -48,7 +48,10 @@ use cdma_models::{zoo, NetworkSpec};
 use cdma_tensor::Layout;
 use cdma_vdnn::timeline::MeasuredStream;
 use cdma_vdnn::traffic::{self, NetworkTraffic};
-use cdma_vdnn::{Fidelity, FidelitySource, LinkPolicy, ProfiledDensity, RatioTable, UniformRatio};
+use cdma_vdnn::{
+    FabricShape, Fidelity, FidelitySource, LinkPolicy, ProfiledDensity, RatioTable, Tenancy,
+    UniformRatio,
+};
 
 use crate::measured;
 use crate::CdmaEngine;
@@ -84,6 +87,12 @@ pub struct Scenario {
     /// Inference batch size (batch 1 = latency-bound serving; the
     /// training figures use the network's own minibatch and ignore this).
     pub batch: usize,
+    /// Fabric topology (only observable in the datacenter experiments;
+    /// everything else runs on the [`FabricShape::Flat`] default).
+    pub fabric: FabricShape,
+    /// Tenancy model (static residents by default; churn runs a
+    /// trace-driven arrival/departure schedule).
+    pub tenancy: Tenancy,
 }
 
 impl Scenario {
@@ -107,6 +116,12 @@ impl Scenario {
         }
         if self.batch != 1 {
             base = format!("{base} b{}", self.batch);
+        }
+        if self.fabric != FabricShape::Flat {
+            base = format!("{base} {}", self.fabric.label());
+        }
+        if self.tenancy != Tenancy::Static {
+            base = format!("{base} {}", self.tenancy.label());
         }
         base
     }
@@ -201,6 +216,8 @@ pub struct ScenarioBuilder {
     link_policies: Vec<LinkPolicy>,
     engines: Vec<InferEngine>,
     batches: Vec<usize>,
+    fabrics: Vec<FabricShape>,
+    tenancies: Vec<Tenancy>,
 }
 
 impl Default for ScenarioBuilder {
@@ -220,6 +237,8 @@ impl Default for ScenarioBuilder {
             link_policies: vec![LinkPolicy::BandwidthShare],
             engines: vec![InferEngine::Dense],
             batches: vec![1],
+            fabrics: vec![FabricShape::Flat],
+            tenancies: vec![Tenancy::Static],
         }
     }
 }
@@ -349,6 +368,44 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the fabric-shape axis (the `fig_datacenter` sweep passes
+    /// [`FabricShape::ALL`]).
+    ///
+    /// ```
+    /// use cdma_core::scenario::ScenarioSet;
+    /// use cdma_vdnn::FabricShape;
+    ///
+    /// let set = ScenarioSet::builder()
+    ///     .networks(["AlexNet"])
+    ///     .fabrics(FabricShape::ALL)
+    ///     .build();
+    /// assert_eq!(set.len(), 2);
+    /// assert_eq!(set.scenarios()[0].fabric, FabricShape::Flat);
+    /// assert!(set.scenarios()[1].label().ends_with("node8"));
+    /// ```
+    pub fn fabrics<I: IntoIterator<Item = FabricShape>>(mut self, fabrics: I) -> Self {
+        self.fabrics = fabrics.into_iter().collect();
+        self
+    }
+
+    /// Sets the tenancy axis (static residents vs trace-driven churn).
+    ///
+    /// ```
+    /// use cdma_core::scenario::ScenarioSet;
+    /// use cdma_vdnn::Tenancy;
+    ///
+    /// let set = ScenarioSet::builder()
+    ///     .networks(["AlexNet"])
+    ///     .tenancies(Tenancy::ALL)
+    ///     .build();
+    /// assert_eq!(set.len(), 2);
+    /// assert!(set.scenarios()[1].label().ends_with("churn"));
+    /// ```
+    pub fn tenancies<I: IntoIterator<Item = Tenancy>>(mut self, tenancies: I) -> Self {
+        self.tenancies = tenancies.into_iter().collect();
+        self
+    }
+
     /// Materializes the cartesian product.
     pub fn build(self) -> ScenarioSet {
         let mut scenarios = Vec::with_capacity(
@@ -360,7 +417,9 @@ impl ScenarioBuilder {
                 * self.gpu_counts.len()
                 * self.link_policies.len()
                 * self.engines.len()
-                * self.batches.len(),
+                * self.batches.len()
+                * self.fabrics.len()
+                * self.tenancies.len(),
         );
         for network in &self.networks {
             for &layout in &self.layouts {
@@ -371,19 +430,25 @@ impl ScenarioBuilder {
                                 for &link_policy in &self.link_policies {
                                     for &engine in &self.engines {
                                         for &batch in &self.batches {
-                                            scenarios.push(Scenario {
-                                                network: network.clone(),
-                                                layout,
-                                                algorithm,
-                                                fidelity,
-                                                checkpoint,
-                                                seed: self.seed,
-                                                config: self.config,
-                                                gpus,
-                                                link_policy,
-                                                engine,
-                                                batch,
-                                            });
+                                            for &fabric in &self.fabrics {
+                                                for &tenancy in &self.tenancies {
+                                                    scenarios.push(Scenario {
+                                                        network: network.clone(),
+                                                        layout,
+                                                        algorithm,
+                                                        fidelity,
+                                                        checkpoint,
+                                                        seed: self.seed,
+                                                        config: self.config,
+                                                        gpus,
+                                                        link_policy,
+                                                        engine,
+                                                        batch,
+                                                        fabric,
+                                                        tenancy,
+                                                    });
+                                                }
+                                            }
                                         }
                                     }
                                 }
@@ -406,6 +471,8 @@ pub struct ScenarioFilter {
     algorithms: Vec<Algorithm>,
     engines: Vec<InferEngine>,
     batches: Vec<usize>,
+    fabrics: Vec<FabricShape>,
+    tenancies: Vec<Tenancy>,
 }
 
 impl ScenarioFilter {
@@ -457,9 +524,12 @@ impl ScenarioFilter {
                     "alg" | "algorithm" => filter.algorithms.push(parse_algorithm(value)?),
                     "engine" => filter.engines.push(parse_engine(value)?),
                     "batch" => filter.batches.push(parse_batch(value)?),
+                    "fabric" => filter.fabrics.push(parse_fabric(value)?),
+                    "tenancy" => filter.tenancies.push(parse_tenancy(value)?),
                     other => {
                         return Err(format!(
-                            "unknown filter key {other:?} (expected net|layout|alg|engine|batch)"
+                            "unknown filter key {other:?} \
+                             (expected net|layout|alg|engine|batch|fabric|tenancy)"
                         ))
                     }
                 }
@@ -499,6 +569,18 @@ impl ScenarioFilter {
         self
     }
 
+    /// Restricts the fabric-shape axis (builder-style convenience).
+    pub fn fabric(mut self, fabric: FabricShape) -> Self {
+        self.fabrics.push(fabric);
+        self
+    }
+
+    /// Restricts the tenancy axis (builder-style convenience).
+    pub fn tenancy(mut self, tenancy: Tenancy) -> Self {
+        self.tenancies.push(tenancy);
+        self
+    }
+
     /// Whether every axis is unrestricted.
     pub fn is_empty(&self) -> bool {
         self.networks.is_empty()
@@ -506,6 +588,8 @@ impl ScenarioFilter {
             && self.algorithms.is_empty()
             && self.engines.is_empty()
             && self.batches.is_empty()
+            && self.fabrics.is_empty()
+            && self.tenancies.is_empty()
     }
 
     /// Whether `scenario` passes every axis.
@@ -515,6 +599,8 @@ impl ScenarioFilter {
             && (self.algorithms.is_empty() || self.algorithms.contains(&scenario.algorithm))
             && (self.engines.is_empty() || self.engines.contains(&scenario.engine))
             && (self.batches.is_empty() || self.batches.contains(&scenario.batch))
+            && (self.fabrics.is_empty() || self.fabrics.contains(&scenario.fabric))
+            && (self.tenancies.is_empty() || self.tenancies.contains(&scenario.tenancy))
     }
 
     /// Whether the network axis admits `name` (for drivers that loop over
@@ -565,6 +651,14 @@ fn parse_batch(s: &str) -> Result<usize, String> {
         .ok()
         .filter(|&b| b > 0)
         .ok_or_else(|| format!("batch {s:?} is not a positive integer"))
+}
+
+fn parse_fabric(s: &str) -> Result<FabricShape, String> {
+    s.to_ascii_lowercase().parse::<FabricShape>()
+}
+
+fn parse_tenancy(s: &str) -> Result<Tenancy, String> {
+    s.to_ascii_lowercase().parse::<Tenancy>()
 }
 
 /// Cache-effectiveness counters of a [`Context`].
@@ -961,6 +1055,24 @@ mod tests {
         // filtering every sweep to empty.
         assert!(ScenarioFilter::parse(&["net=AlexNte"]).is_err());
         assert!(ScenarioFilter::all().matches(&ScenarioSet::paper_grid().scenarios()[0]));
+
+        // The datacenter axes parse, validate and match.
+        let f = ScenarioFilter::parse(&["fabric=node8", "tenancy=churn"]).unwrap();
+        assert!(!f.is_empty());
+        let set = ScenarioSet::builder()
+            .networks(["AlexNet"])
+            .fabrics(FabricShape::ALL)
+            .tenancies(Tenancy::ALL)
+            .build();
+        let hits: Vec<_> = set.scenarios().iter().filter(|s| f.matches(s)).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            hits[0].fabric,
+            FabricShape::Hierarchical { gpus_per_node: 8 }
+        );
+        assert_eq!(hits[0].tenancy, Tenancy::Churn);
+        assert!(ScenarioFilter::parse(&["fabric=mesh"]).is_err());
+        assert!(ScenarioFilter::parse(&["tenancy=rotating"]).is_err());
     }
 
     #[test]

@@ -58,12 +58,13 @@
 //! assert!((t.total - tl.makespan()).abs() < 1e-12);
 //! ```
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use cdma_gpusim::{SystemConfig, ZvcEngine};
 use cdma_models::NetworkSpec;
 
+use crate::calendar::CalendarQueue;
+use crate::fabric::{FabricSpec, FluidFabric, Links};
 use crate::timeline::{
     push_busy, Event, EventKind, FlowId, LinkArbiter, LinkPolicy, Payload, Phase, RequestId,
     Resource, StageRecord, StepTimeline, TimelineSim, TransferSource,
@@ -228,6 +229,9 @@ pub struct ClusterTimeline {
     gpu_tenant: Vec<usize>,
     tenants: Vec<TenantResult>,
     link_busy: Vec<(f64, f64)>,
+    node_busy: Vec<Vec<(f64, f64)>>,
+    spine_wire_bytes: f64,
+    node_wire_bytes: Vec<f64>,
     makespan: f64,
     events_processed: u64,
     policy: LinkPolicy,
@@ -254,9 +258,27 @@ impl ClusterTimeline {
         &self.tenants
     }
 
-    /// Aggregate busy intervals of the shared link, coalesced.
+    /// Aggregate busy intervals of the shared tier, coalesced: the one
+    /// link on a flat fabric, the spine on a hierarchical one.
     pub fn link_busy(&self) -> &[(f64, f64)] {
         &self.link_busy
+    }
+
+    /// Per-node-tier busy intervals of a hierarchical fabric (empty on a
+    /// flat fabric or the dedicated single-GPU fast path).
+    pub fn node_busy(&self) -> &[Vec<(f64, f64)>] {
+        &self.node_busy
+    }
+
+    /// Wire bytes the shared tier carried (shared runs only; zero on the
+    /// dedicated single-GPU fast path, which books busy time instead).
+    pub fn spine_wire_bytes(&self) -> f64 {
+        self.spine_wire_bytes
+    }
+
+    /// Wire bytes each node tier carried (empty on a flat fabric).
+    pub fn node_wire_bytes(&self) -> &[f64] {
+        &self.node_wire_bytes
     }
 
     /// End-to-end completion of the whole cluster.
@@ -373,6 +395,8 @@ pub struct ClusterSim {
     compute: ComputeModel,
     policy: LinkPolicy,
     overlap_allreduce: bool,
+    fabric: Option<FabricSpec>,
+    record: bool,
 }
 
 impl ClusterSim {
@@ -385,6 +409,8 @@ impl ClusterSim {
             compute,
             policy,
             overlap_allreduce: false,
+            fabric: None,
+            record: true,
         }
     }
 
@@ -394,6 +420,33 @@ impl ClusterSim {
     pub fn overlap_allreduce(mut self, on: bool) -> Self {
         self.overlap_allreduce = on;
         self
+    }
+
+    /// Runs the cluster on a hierarchical fabric instead of one flat
+    /// link: GPU flows traverse their node tier
+    /// (GPU `i` lands on node `i / gpus_per_node`, tenant-major) plus the
+    /// spine, and gradient all-reduce streams ride the spine alone.
+    /// Without this, the simulation is byte-for-byte the legacy flat
+    /// [`LinkArbiter`] path.
+    pub fn with_fabric(mut self, fabric: FabricSpec) -> Self {
+        self.fabric = Some(fabric);
+        self
+    }
+
+    /// Opt out of copy-free event logging (`on = false`): per-GPU event
+    /// logs, stage records and busy intervals are skipped (empty in the
+    /// result) while every aggregate — breakdowns, tenant results, link
+    /// busy profile, event counts — stays identical. This is what keeps
+    /// a 1000-GPU step in bounded memory. Applies to shared runs; the
+    /// dedicated single-GPU fast path always records.
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.record = on;
+        self
+    }
+
+    /// The hierarchical fabric, if one was configured.
+    pub fn fabric(&self) -> Option<FabricSpec> {
+        self.fabric
     }
 
     /// The platform configuration.
@@ -422,12 +475,16 @@ impl ClusterSim {
         for t in tenants {
             assert!(t.gpus > 0, "{}: need at least one GPU", t.spec.name());
         }
-        // Dedicated fast path: one tenant on one GPU has nothing to
-        // arbitrate, so the cluster IS the single-GPU timeline —
-        // bit-identically, the same way StepSim wraps TimelineSim.
-        if let [t] = tenants {
-            if t.gpus == 1 {
-                return self.dedicated(t);
+        // Dedicated fast path: one tenant on one GPU of a *flat* fabric
+        // has nothing to arbitrate, so the cluster IS the single-GPU
+        // timeline — bit-identically, the same way StepSim wraps
+        // TimelineSim. A hierarchical fabric still arbitrates (node tier
+        // plus spine), so it always takes the shared path.
+        if self.fabric.is_none() {
+            if let [t] = tenants {
+                if t.gpus == 1 {
+                    return self.dedicated(t);
+                }
             }
         }
         self.shared(tenants)
@@ -452,6 +509,9 @@ impl ClusterSim {
             gpu_tenant: vec![0],
             tenants: vec![result],
             link_busy,
+            node_busy: Vec::new(),
+            spine_wire_bytes: 0.0,
+            node_wire_bytes: Vec::new(),
             makespan: total,
             events_processed,
             policy: self.policy,
@@ -522,34 +582,6 @@ impl ClusterSim {
     }
 }
 
-/// A stage-start entry of the cluster's shared event queue.
-struct StartEvent {
-    time: f64,
-    seq: u64,
-    gpu: usize,
-}
-
-impl PartialEq for StartEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for StartEvent {}
-impl PartialOrd for StartEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for StartEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: pop the earliest start first, ties by insertion.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
 /// What a completed link request belongs to.
 #[derive(Debug, Clone, Copy)]
 enum Owner {
@@ -567,6 +599,9 @@ struct GpuRun {
     flow: FlowId,
     next_stage: usize,
     seq: u64,
+    /// Whether the detailed log (events, stages, busy) is retained;
+    /// `seq` counts events either way, so event *counts* are identical.
+    record: bool,
     events: Vec<(f64, u64, EventKind)>,
     stages: Vec<StageRecord>,
     busy: [Vec<(f64, f64)>; 3],
@@ -577,7 +612,9 @@ struct GpuRun {
 
 impl GpuRun {
     fn push_event(&mut self, time: f64, kind: EventKind) {
-        self.events.push((time, self.seq, kind));
+        if self.record {
+            self.events.push((time, self.seq, kind));
+        }
         self.seq += 1;
     }
 }
@@ -603,18 +640,30 @@ struct SharedEngine {
     plans: Vec<Vec<StagePlan>>,
     fidelities: Vec<&'static str>,
     networks: Vec<String>,
-    arb: LinkArbiter,
+    links: Links,
     gpus: Vec<GpuRun>,
     tenants: Vec<TenantRun>,
     owners: HashMap<RequestId, Owner>,
-    heap: BinaryHeap<StartEvent>,
-    heap_seq: u64,
+    /// Stage-start events: pops the earliest start first, ties by
+    /// insertion order (the calendar queue's sequence numbers).
+    starts: CalendarQueue<usize>,
     overlap: bool,
 }
 
 impl SharedEngine {
     fn new(sim: &ClusterSim, tenants: &[Tenant<'_>]) -> Self {
-        let mut arb = LinkArbiter::new(sim.cfg.pcie_bw, sim.policy);
+        let mut links = match sim.fabric {
+            None => Links::Flat(LinkArbiter::new(sim.cfg.pcie_bw, sim.policy)),
+            Some(spec) => {
+                let total: usize = tenants.iter().map(|t| t.gpus).sum();
+                assert!(
+                    total <= spec.capacity(),
+                    "{total} GPUs exceed the fabric capacity {}",
+                    spec.capacity()
+                );
+                Links::Fabric(Box::new(FluidFabric::new(spec)))
+            }
+        };
         let mut gpus = Vec::new();
         let mut tenant_runs = Vec::new();
         let mut plans = Vec::new();
@@ -625,8 +674,10 @@ impl SharedEngine {
             fidelities.push(t.source.fidelity());
             networks.push(t.spec.name().to_owned());
             let allreduce = (t.gpus > 1).then(|| GradientAllReduce::ring(t.spec, t.gpus));
+            // Gradient rings cross between nodes: spine-only traffic on a
+            // hierarchical fabric.
             let allreduce_flow =
-                allreduce.map(|_| arb.flow(&format!("{}.allreduce", t.spec.name())));
+                allreduce.map(|_| links.flow(&format!("{}.allreduce", t.spec.name()), None));
             // Overlap mode splits the same checked ring total into
             // per-layer chunks — both modes go through the one audited
             // weight-count-to-bytes conversion.
@@ -651,12 +702,14 @@ impl SharedEngine {
                 allreduce_end: 0.0,
             });
             for k in 0..t.gpus {
-                let flow = arb.flow(&format!("{}.gpu{k}", t.spec.name()));
+                let node = sim.fabric.map(|f| f.node_of(gpus.len()));
+                let flow = links.flow(&format!("{}.gpu{k}", t.spec.name()), node);
                 gpus.push(GpuRun {
                     tenant: ti,
                     flow,
                     next_stage: 0,
                     seq: 0,
+                    record: sim.record,
                     events: Vec::new(),
                     stages: Vec::new(),
                     busy: [Vec::new(), Vec::new(), Vec::new()],
@@ -675,23 +728,17 @@ impl SharedEngine {
             plans,
             fidelities,
             networks,
-            arb,
+            links,
             gpus,
             tenants: tenant_runs,
             owners: HashMap::new(),
-            heap: BinaryHeap::new(),
-            heap_seq: 0,
+            starts: CalendarQueue::new(),
             overlap: sim.overlap_allreduce,
         }
     }
 
     fn push_start(&mut self, time: f64, gpu: usize) {
-        self.heap.push(StartEvent {
-            time,
-            seq: self.heap_seq,
-            gpu,
-        });
-        self.heap_seq += 1;
+        self.starts.push(time, gpu);
     }
 
     fn run(&mut self) {
@@ -699,8 +746,8 @@ impl SharedEngine {
             self.push_start(0.0, gpu);
         }
         loop {
-            let t_start = self.heap.peek().map(|e| e.time);
-            let t_arb = self.arb.next_event();
+            let t_start = self.starts.min_time();
+            let t_arb = self.links.next_event();
             let t = match (t_start, t_arb) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -711,14 +758,14 @@ impl SharedEngine {
             // reported next event, so advancing to `t` surfaces
             // completions only at exactly `t` — follow-on submissions
             // can never land in the past.
-            self.arb.advance_to(t.max(self.arb.now()));
-            for (req, tc) in self.arb.take_completions() {
+            self.links.advance_to(t.max(self.links.now()));
+            for (req, tc) in self.links.take_completions() {
                 self.handle_completion(req, tc);
             }
-            while self.heap.peek().is_some_and(|e| e.time <= t) {
-                let e = self.heap.pop().expect("peeked");
-                debug_assert!(e.time >= self.arb.now() - 1e-12, "stage start in the past");
-                self.start_stage(e.gpu, e.time.max(self.arb.now()));
+            while self.starts.min_time().is_some_and(|t0| t0 <= t) {
+                let (time, gpu) = self.starts.pop().expect("peeked");
+                debug_assert!(time >= self.links.now() - 1e-12, "stage start in the past");
+                self.start_stage(gpu, time.max(self.links.now()));
             }
         }
     }
@@ -730,11 +777,13 @@ impl SharedEngine {
             let (phase, layer) = (plan.phase, plan.layer);
             run.push_event(t, EventKind::ComputeStart { phase, layer });
             run.push_event(t + plan.compute, EventKind::ComputeEnd { phase, layer });
-            push_busy(
-                &mut run.busy[Resource::Compute as usize],
-                t,
-                t + plan.compute,
-            );
+            if run.record {
+                push_busy(
+                    &mut run.busy[Resource::Compute as usize],
+                    t,
+                    t + plan.compute,
+                );
+            }
         }
         let compute_end = t + plan.compute;
         match plan.demand {
@@ -757,7 +806,7 @@ impl SharedEngine {
                     compute_end,
                 });
                 let flow = run.flow;
-                let req = self.arb.submit(flow, t, d.wire_bytes, d.max_rate);
+                let req = self.links.submit(flow, t, d.wire_bytes, d.max_rate);
                 self.owners.insert(req, Owner::Stage { gpu });
             }
         }
@@ -781,7 +830,9 @@ impl SharedEngine {
                     }
                 };
                 run.push_event(tc, end_kind);
-                push_busy(&mut run.busy[Resource::Link as usize], start, tc);
+                if run.record {
+                    push_busy(&mut run.busy[Resource::Link as usize], start, tc);
+                }
                 tc - start
             }
             None => 0.0,
@@ -798,7 +849,7 @@ impl SharedEngine {
                 run.breakdown.backward_stall += stall;
             }
         }
-        if plan.record {
+        if plan.record && run.record {
             run.stages.push(StageRecord {
                 phase: plan.phase,
                 layer: plan.layer,
@@ -855,8 +906,8 @@ impl SharedEngine {
         tr.chunks_in_flight += 1;
         tr.allreduce_start = Some(tr.allreduce_start.map_or(ready_at, |s| s.min(ready_at)));
         let req = self
-            .arb
-            .submit(flow, ready_at.max(self.arb.now()), wire, f64::INFINITY);
+            .links
+            .submit(flow, ready_at.max(self.links.now()), wire, f64::INFINITY);
         self.owners.insert(req, Owner::AllReduce { tenant });
     }
 
@@ -875,8 +926,8 @@ impl SharedEngine {
         let flow = tr.allreduce_flow.expect("multi-GPU tenants have a flow");
         tr.chunks_in_flight += 1;
         tr.allreduce_start = Some(tr.step_end);
-        let at = tr.step_end.max(self.arb.now());
-        let req = self.arb.submit(flow, at, wire, f64::INFINITY);
+        let at = tr.step_end.max(self.links.now());
+        let req = self.links.submit(flow, at, wire, f64::INFINITY);
         self.owners.insert(req, Owner::AllReduce { tenant });
     }
 
@@ -903,7 +954,7 @@ impl SharedEngine {
         let mut gpu_timelines = Vec::with_capacity(self.gpus.len());
         let mut gpu_tenant = Vec::with_capacity(self.gpus.len());
         let mut per_tenant_worst: Vec<Option<StepBreakdown>> = vec![None; self.tenants.len()];
-        let mut arbiter_events = self.arb.events_processed();
+        let mut arbiter_events = self.links.events_processed();
         for run in self.gpus {
             debug_assert!(run.finished_at.is_some(), "every GPU retires");
             let mut events = run.events;
@@ -912,7 +963,11 @@ impl SharedEngine {
                 .into_iter()
                 .map(|(time, _, kind)| Event { time, kind })
                 .collect();
-            let gpu_events = events.len() as u64;
+            // `seq` counts every event whether or not the log was
+            // retained, so opting out of recording cannot change the
+            // reported event totals.
+            let gpu_events = run.seq;
+            debug_assert!(!run.record || gpu_events == events.len() as u64);
             arbiter_events += gpu_events;
             let worst = &mut per_tenant_worst[run.tenant];
             if worst.is_none_or(|w| run.breakdown.total() > w.total()) {
@@ -944,11 +999,15 @@ impl SharedEngine {
                 total,
             });
         }
+        let (spine_wire_bytes, node_wire_bytes) = self.links.wire_totals();
         ClusterTimeline {
             gpus: gpu_timelines,
             gpu_tenant,
             tenants: results,
-            link_busy: self.arb.busy().to_vec(),
+            link_busy: self.links.link_busy().to_vec(),
+            node_busy: self.links.node_busy().to_vec(),
+            spine_wire_bytes,
+            node_wire_bytes,
             makespan,
             events_processed: arbiter_events,
             policy,

@@ -1,0 +1,1444 @@
+//! # Hierarchical datacenter fabrics (multi-level link arbitration)
+//!
+//! The single [`LinkArbiter`] of [`cluster`](crate::cluster) models 4–8
+//! GPUs on one PCIe switch. Datacenter platforms stack that link: each
+//! node's GPUs share a PCIe/NVLink tier, and the nodes' NICs share a
+//! spine whose bandwidth is usually *oversubscribed* relative to the sum
+//! of the node tiers. This module grows the cluster simulation onto that
+//! shape:
+//!
+//! * [`FabricSpec`] / [`FabricShape`] — the two-tier topology (`n` nodes
+//!   × `g` GPUs each, per-tier bandwidth and [`LinkPolicy`]);
+//! * [`FluidFabric`] — the multi-level arbiter: every transfer traverses
+//!   its node tier *and* the spine, and its instantaneous service rate is
+//!   the max-min fair allocation across both tiers, so the bottleneck
+//!   tier determines progress;
+//! * [`FabricSim`] / [`Job`] — trace-driven tenant churn: jobs arrive on
+//!   an open-loop schedule (same seeding discipline as
+//!   `cdma_serve::loadgen::Schedule`), are admitted when GPUs are free,
+//!   run multi-step with density evolving across
+//!   [`FidelitySource`] checkpoints (the §IV
+//!   trajectories), and depart mid-run — with per-step results folded
+//!   into streaming [`RunStats`] so a long run stays in bounded memory;
+//! * [`churn_trace`] — the seeded random job-mix generator behind the
+//!   `tenancy=churn` scenario axis.
+//!
+//! ## Tier composition model
+//!
+//! Rates are *fluid*: at every schedule change the fabric solves a
+//! max-min fair allocation by progressive filling. A
+//! [`LinkPolicy::BandwidthShare`] tier is a shared pipe filled
+//! water-filling style; a [`LinkPolicy::RoundRobin`] tier is modelled as
+//! an equal-slice ceiling (`tier_bw / active_flows`, no redistribution of
+//! unused slices) — the fluid limit of a quantum scheduler under
+//! persistent backlog. Gradient all-reduce streams are inter-node
+//! traffic: they traverse the spine only (`node = None`), while per-GPU
+//! offload/prefetch flows traverse their node tier and then the spine.
+//! Every tier keeps its own busy profile and wire-byte counter, so the
+//! conservation invariant `spine bytes = Σ node bytes + all-reduce bytes`
+//! is checkable after any run.
+//!
+//! The symmetric case has a closed form — each of `g·n` identical flows
+//! gets `min(cap, node_bw/g, spine_bw/(g·n))` — which the independent
+//! oracle in `tests/fabric_cross_validation.rs` pins within 1e-9.
+//!
+//! ```
+//! use cdma_vdnn::fabric::{FabricSpec, FluidFabric};
+//! use cdma_vdnn::timeline::LinkPolicy;
+//!
+//! // 2 nodes × 10 B/s, spine of 10 B/s shared by both.
+//! let spec = FabricSpec::new(
+//!     2, 2, 10.0, LinkPolicy::BandwidthShare, 10.0, LinkPolicy::BandwidthShare,
+//! );
+//! let mut fab = FluidFabric::new(spec);
+//! let a = fab.flow("n0.gpu0", Some(0));
+//! let b = fab.flow("n1.gpu0", Some(1));
+//! let ra = fab.submit(a, 0.0, 40.0, f64::INFINITY);
+//! let rb = fab.submit(b, 0.0, 40.0, f64::INFINITY);
+//! fab.run_until_idle();
+//! // Node tiers could carry 10 B/s each, but the 10 B/s spine is the
+//! // bottleneck: each flow gets 5 B/s.
+//! assert_eq!(fab.completion(ra), Some(8.0));
+//! assert_eq!(fab.completion(rb), Some(8.0));
+//! ```
+
+use std::collections::VecDeque;
+
+use cdma_gpusim::SystemConfig;
+use cdma_models::NetworkSpec;
+
+use crate::cluster::{ClusterSim, Tenant};
+use crate::timeline::{push_busy, FidelitySource, FlowId, LinkArbiter, LinkPolicy, RequestId};
+
+/// The fabric topology of a scenario, as a parseable axis value
+/// (`fabric=flat`, `fabric=node8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricShape {
+    /// Every GPU on one shared link — the legacy [`ClusterSim`] shape.
+    Flat,
+    /// Two tiers: nodes of `gpus_per_node` GPUs, each node's link feeding
+    /// a shared spine.
+    Hierarchical {
+        /// GPUs per node (the node-tier fan-in).
+        gpus_per_node: usize,
+    },
+}
+
+impl FabricShape {
+    /// The shapes every sweep iterates, smallest first.
+    pub const ALL: [FabricShape; 2] = [
+        FabricShape::Flat,
+        FabricShape::Hierarchical { gpus_per_node: 8 },
+    ];
+
+    /// The stable label used in scenario keys (`flat`, `node8`).
+    pub fn label(&self) -> String {
+        match self {
+            FabricShape::Flat => "flat".to_owned(),
+            FabricShape::Hierarchical { gpus_per_node } => format!("node{gpus_per_node}"),
+        }
+    }
+
+    /// Concretizes the shape for a platform and GPU count: `Flat` needs
+    /// no fabric (the single [`LinkArbiter`] path), `Hierarchical` gets
+    /// `⌈gpus / gpus_per_node⌉` nodes at the platform's PCIe bandwidth
+    /// each, feeding a 2:1-oversubscribed spine
+    /// (`node_bw · max(nodes/2, 1)`), both tiers under `policy`.
+    pub fn spec_for(
+        &self,
+        cfg: &SystemConfig,
+        gpus: usize,
+        policy: LinkPolicy,
+    ) -> Option<FabricSpec> {
+        match *self {
+            FabricShape::Flat => None,
+            FabricShape::Hierarchical { gpus_per_node } => {
+                assert!(gpus_per_node > 0, "need at least one GPU per node");
+                let nodes = gpus.div_ceil(gpus_per_node).max(1);
+                let node_bw = cfg.pcie_bw;
+                let spine_bw = node_bw * (nodes as f64 / 2.0).max(1.0);
+                Some(FabricSpec::new(
+                    nodes,
+                    gpus_per_node,
+                    node_bw,
+                    policy,
+                    spine_bw,
+                    policy,
+                ))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FabricShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for FabricShape {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "flat" {
+            return Ok(FabricShape::Flat);
+        }
+        if let Some(g) = s.strip_prefix("node") {
+            let gpus_per_node: usize = g
+                .parse()
+                .map_err(|_| format!("unknown fabric shape {s:?} (expected flat|node<g>)"))?;
+            if gpus_per_node == 0 {
+                return Err(format!(
+                    "fabric shape {s:?} needs at least one GPU per node"
+                ));
+            }
+            return Ok(FabricShape::Hierarchical { gpus_per_node });
+        }
+        Err(format!(
+            "unknown fabric shape {s:?} (expected flat|node<g>)"
+        ))
+    }
+}
+
+/// The tenancy model of a scenario, as a parseable axis value
+/// (`tenancy=static`, `tenancy=churn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tenancy {
+    /// Every tenant present for the whole run (the legacy shape).
+    Static,
+    /// Trace-driven arrival/departure via [`churn_trace`] and
+    /// [`FabricSim`].
+    Churn,
+}
+
+impl Tenancy {
+    /// Both tenancy models, static first.
+    pub const ALL: [Tenancy; 2] = [Tenancy::Static, Tenancy::Churn];
+
+    /// The stable label used in scenario keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tenancy::Static => "static",
+            Tenancy::Churn => "churn",
+        }
+    }
+}
+
+impl std::fmt::Display for Tenancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Tenancy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "static" => Ok(Tenancy::Static),
+            "churn" => Ok(Tenancy::Churn),
+            other => Err(format!("unknown tenancy {other:?} (expected static|churn)")),
+        }
+    }
+}
+
+/// A concrete two-tier fabric: `nodes` node links of `node_bw`
+/// bytes/second each (fan-in `gpus_per_node`), all feeding one spine of
+/// `spine_bw` bytes/second, each tier under its own [`LinkPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricSpec {
+    /// Node count (node-tier arbiter count).
+    pub nodes: usize,
+    /// GPUs per node; `nodes · gpus_per_node` bounds the cluster's GPUs.
+    pub gpus_per_node: usize,
+    /// Per-node link bandwidth, wire bytes/second.
+    pub node_bw: f64,
+    /// Node-tier arbitration.
+    pub node_policy: LinkPolicy,
+    /// Spine bandwidth, wire bytes/second.
+    pub spine_bw: f64,
+    /// Spine arbitration.
+    pub spine_policy: LinkPolicy,
+}
+
+impl FabricSpec {
+    /// A validated fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `gpus_per_node` is zero, or a bandwidth is
+    /// not positive and finite.
+    pub fn new(
+        nodes: usize,
+        gpus_per_node: usize,
+        node_bw: f64,
+        node_policy: LinkPolicy,
+        spine_bw: f64,
+        spine_policy: LinkPolicy,
+    ) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(gpus_per_node > 0, "need at least one GPU per node");
+        assert!(
+            node_bw > 0.0 && node_bw.is_finite(),
+            "node bandwidth must be positive"
+        );
+        assert!(
+            spine_bw > 0.0 && spine_bw.is_finite(),
+            "spine bandwidth must be positive"
+        );
+        FabricSpec {
+            nodes,
+            gpus_per_node,
+            node_bw,
+            node_policy,
+            spine_bw,
+            spine_policy,
+        }
+    }
+
+    /// GPU slots in the fabric (`nodes · gpus_per_node`).
+    pub fn capacity(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Which node a tenant-major global GPU index lands on.
+    pub fn node_of(&self, gpu: usize) -> usize {
+        gpu / self.gpus_per_node
+    }
+}
+
+#[derive(Debug)]
+struct FFlow {
+    label: String,
+    /// `Some(k)` — traverses node tier `k` then the spine; `None` —
+    /// inter-node traffic on the spine only (gradient all-reduce).
+    node: Option<usize>,
+    /// FIFO of not-yet-finished request indices (head is in service).
+    queue: VecDeque<usize>,
+    offered: f64,
+    delivered: f64,
+}
+
+#[derive(Debug)]
+struct FRequest {
+    flow: usize,
+    arrival: f64,
+    max_rate: f64,
+    remaining: f64,
+    completion: Option<f64>,
+}
+
+/// The multi-level fluid arbiter: [`LinkArbiter`]'s submit/advance API,
+/// but every transfer traverses a *path* of tiers and its service rate is
+/// the max-min fair allocation across all of them. See the
+/// [module docs](self) for the tier composition model.
+#[derive(Debug)]
+pub struct FluidFabric {
+    spec: FabricSpec,
+    now: f64,
+    flows: Vec<FFlow>,
+    requests: Vec<FRequest>,
+    /// Per-node-tier busy intervals, coalesced.
+    node_busy: Vec<Vec<(f64, f64)>>,
+    spine_busy: Vec<(f64, f64)>,
+    /// Wire bytes each node tier has carried.
+    node_bytes: Vec<f64>,
+    /// Wire bytes the spine has carried (every flow crosses it).
+    spine_bytes: f64,
+    completions: Vec<(RequestId, f64)>,
+    events_processed: u64,
+}
+
+impl FluidFabric {
+    /// An idle fabric of `spec`'s shape.
+    pub fn new(spec: FabricSpec) -> Self {
+        FluidFabric {
+            spec,
+            now: 0.0,
+            flows: Vec::new(),
+            requests: Vec::new(),
+            node_busy: (0..spec.nodes).map(|_| Vec::new()).collect(),
+            spine_busy: Vec::new(),
+            node_bytes: vec![0.0; spec.nodes],
+            spine_bytes: 0.0,
+            completions: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// The fabric's topology.
+    pub fn spec(&self) -> FabricSpec {
+        self.spec
+    }
+
+    /// Registers a flow. `node = Some(k)` routes it through node tier `k`
+    /// and the spine; `None` is spine-only inter-node traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` names a tier outside the fabric.
+    pub fn flow(&mut self, label: &str, node: Option<usize>) -> FlowId {
+        if let Some(k) = node {
+            assert!(k < self.spec.nodes, "node {k} outside the fabric");
+        }
+        self.flows.push(FFlow {
+            label: label.to_owned(),
+            node,
+            queue: VecDeque::new(),
+            offered: 0.0,
+            delivered: 0.0,
+        });
+        FlowId::from_index(self.flows.len() - 1)
+    }
+
+    /// Submits a transfer of `wire_bytes` on `flow` arriving at `at`,
+    /// rate-capped at `max_rate` (same contract as
+    /// [`LinkArbiter::submit`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire_bytes` or `max_rate` is not positive, or `at`
+    /// precedes the clock or the flow's previous submission.
+    pub fn submit(&mut self, flow: FlowId, at: f64, wire_bytes: f64, max_rate: f64) -> RequestId {
+        assert!(wire_bytes > 0.0, "transfer must move at least one byte");
+        assert!(max_rate > 0.0, "rate cap must be positive");
+        assert!(
+            at >= self.now,
+            "submission at {at} precedes the fabric clock {}",
+            self.now
+        );
+        let f = &mut self.flows[flow.index()];
+        if let Some(&prev) = f.queue.back() {
+            assert!(
+                at >= self.requests[prev].arrival,
+                "per-flow submissions must be in arrival order"
+            );
+        }
+        let id = self.requests.len();
+        self.requests.push(FRequest {
+            flow: flow.index(),
+            arrival: at,
+            max_rate,
+            remaining: wire_bytes,
+            completion: None,
+        });
+        let f = &mut self.flows[flow.index()];
+        f.queue.push_back(id);
+        f.offered += wire_bytes;
+        RequestId::from_index(id)
+    }
+
+    /// The fabric's clock.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The label a flow was registered with.
+    pub fn flow_label(&self, flow: FlowId) -> &str {
+        &self.flows[flow.index()].label
+    }
+
+    /// Wire bytes submitted on `flow` so far.
+    pub fn offered(&self, flow: FlowId) -> f64 {
+        self.flows[flow.index()].offered
+    }
+
+    /// Wire bytes delivered for `flow` so far.
+    pub fn delivered(&self, flow: FlowId) -> f64 {
+        self.flows[flow.index()].delivered
+    }
+
+    /// Completion time of a request, once it has fully drained.
+    pub fn completion(&self, req: RequestId) -> Option<f64> {
+        self.requests[req.index()].completion
+    }
+
+    /// Spine busy intervals, time-ordered and coalesced.
+    pub fn spine_busy(&self) -> &[(f64, f64)] {
+        &self.spine_busy
+    }
+
+    /// Node tier `k`'s busy intervals.
+    pub fn node_busy(&self, k: usize) -> &[(f64, f64)] {
+        &self.node_busy[k]
+    }
+
+    /// Per-node busy intervals, all tiers.
+    pub fn node_busy_all(&self) -> &[Vec<(f64, f64)>] {
+        &self.node_busy
+    }
+
+    /// Wire bytes the spine has carried.
+    pub fn spine_bytes(&self) -> f64 {
+        self.spine_bytes
+    }
+
+    /// Wire bytes node tier `k` has carried.
+    pub fn node_bytes(&self, k: usize) -> f64 {
+        self.node_bytes[k]
+    }
+
+    /// Internal events processed: one per active flow per fluid
+    /// rate-change interval, plus idle-period arrival jumps.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Completions produced since the last call, in completion order.
+    pub fn take_completions(&mut self) -> Vec<(RequestId, f64)> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Whether any submitted transfer still has bytes to move.
+    pub fn has_backlog(&self) -> bool {
+        self.flows.iter().any(|f| !f.queue.is_empty())
+    }
+
+    /// Head-of-line request of every flow with work that has arrived.
+    fn active_heads(&self) -> Vec<usize> {
+        self.flows
+            .iter()
+            .filter_map(|f| f.queue.front().copied())
+            .filter(|&r| self.requests[r].arrival <= self.now)
+            .collect()
+    }
+
+    /// Earliest arrival strictly in the future.
+    fn next_arrival(&self) -> Option<f64> {
+        self.flows
+            .iter()
+            .filter_map(|f| f.queue.front().copied())
+            .map(|r| self.requests[r].arrival)
+            .filter(|&a| a > self.now)
+            .fold(None, |acc: Option<f64>, a| {
+                Some(acc.map_or(a, |b| b.min(a)))
+            })
+    }
+
+    /// Max-min fair rates across both tiers by progressive filling.
+    ///
+    /// Per-flow ceilings start at the request's rate cap; a round-robin
+    /// tier adds its equal-slice ceiling (`tier_bw / active_in_tier`).
+    /// Then all open flows' rates rise together until one hits its
+    /// ceiling or a bandwidth-share tier saturates, whose member flows
+    /// freeze; repeat until every flow is frozen. The bottleneck tier of
+    /// each flow's path therefore determines its rate.
+    fn rates(&self, heads: &[usize]) -> Vec<f64> {
+        let n = heads.len();
+        let mut node_count = vec![0usize; self.spec.nodes];
+        for &h in heads {
+            if let Some(k) = self.flows[self.requests[h].flow].node {
+                node_count[k] += 1;
+            }
+        }
+        let node_of = |h: usize| self.flows[self.requests[h].flow].node;
+        let mut ceil: Vec<f64> = heads
+            .iter()
+            .map(|&h| {
+                let mut c = self.requests[h].max_rate;
+                if let Some(k) = node_of(h) {
+                    if self.spec.node_policy == LinkPolicy::RoundRobin {
+                        c = c.min(self.spec.node_bw / node_count[k] as f64);
+                    }
+                }
+                if self.spec.spine_policy == LinkPolicy::RoundRobin {
+                    c = c.min(self.spec.spine_bw / n as f64);
+                }
+                c
+            })
+            .collect();
+        let node_bs = self.spec.node_policy == LinkPolicy::BandwidthShare;
+        let spine_bs = self.spec.spine_policy == LinkPolicy::BandwidthShare;
+        // A bandwidth-share node tier also caps a lone flow: no amount of
+        // filling can exceed the tier, so fold it into the ceiling (this
+        // keeps the symmetric case exact instead of tolerance-frozen).
+        if node_bs {
+            for (i, &h) in heads.iter().enumerate() {
+                if node_of(h).is_some() {
+                    ceil[i] = ceil[i].min(self.spec.node_bw);
+                }
+            }
+        }
+        if spine_bs {
+            for c in &mut ceil {
+                *c = (*c).min(self.spec.spine_bw);
+            }
+        }
+        let mut rates = vec![0.0; n];
+        let mut open = vec![true; n];
+        let mut open_count = n;
+        // Each round freezes at least one flow or one tier, so the loop
+        // is bounded by flows + tiers.
+        for _ in 0..(n + self.spec.nodes + 2) {
+            if open_count == 0 {
+                break;
+            }
+            let mut delta = f64::INFINITY;
+            for i in 0..n {
+                if open[i] {
+                    delta = delta.min(ceil[i] - rates[i]);
+                }
+            }
+            if node_bs {
+                let mut used = vec![0.0f64; self.spec.nodes];
+                let mut open_k = vec![0usize; self.spec.nodes];
+                for (i, &h) in heads.iter().enumerate() {
+                    if let Some(k) = node_of(h) {
+                        used[k] += rates[i];
+                        if open[i] {
+                            open_k[k] += 1;
+                        }
+                    }
+                }
+                for k in 0..self.spec.nodes {
+                    if open_k[k] > 0 {
+                        delta = delta.min((self.spec.node_bw - used[k]) / open_k[k] as f64);
+                    }
+                }
+            }
+            if spine_bs {
+                let used: f64 = rates.iter().sum();
+                delta = delta.min((self.spec.spine_bw - used) / open_count as f64);
+            }
+            let delta = delta.max(0.0);
+            for i in 0..n {
+                if open[i] {
+                    rates[i] += delta;
+                }
+            }
+            // Freeze flows at their ceilings (snapping exactly, so capped
+            // flows get their cap bit-for-bit, as LinkArbiter does).
+            for i in 0..n {
+                if open[i] && ceil[i] - rates[i] <= ceil[i] * 1e-12 {
+                    rates[i] = ceil[i];
+                    open[i] = false;
+                    open_count -= 1;
+                }
+            }
+            // Freeze members of saturated bandwidth-share tiers at their
+            // current (fair) rates.
+            if node_bs {
+                let mut used = vec![0.0f64; self.spec.nodes];
+                for (i, &h) in heads.iter().enumerate() {
+                    if let Some(k) = node_of(h) {
+                        used[k] += rates[i];
+                    }
+                }
+                for (i, &h) in heads.iter().enumerate() {
+                    if let Some(k) = node_of(h) {
+                        if open[i] && self.spec.node_bw - used[k] <= self.spec.node_bw * 1e-12 {
+                            open[i] = false;
+                            open_count -= 1;
+                        }
+                    }
+                }
+            }
+            if spine_bs {
+                let used: f64 = rates.iter().sum();
+                if self.spec.spine_bw - used <= self.spec.spine_bw * 1e-12 {
+                    for o in &mut open {
+                        if *o {
+                            *o = false;
+                            open_count -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        rates
+    }
+
+    /// The earliest future time at which the schedule changes on its own,
+    /// or `None` when fully drained (same contract as
+    /// [`LinkArbiter::next_event`]).
+    pub fn next_event(&self) -> Option<f64> {
+        let heads = self.active_heads();
+        if !heads.is_empty() {
+            let rates = self.rates(&heads);
+            let dt = heads
+                .iter()
+                .zip(&rates)
+                .map(|(&h, &r)| self.requests[h].remaining / r)
+                .fold(f64::INFINITY, f64::min);
+            let completion = self.now + dt;
+            return Some(match self.next_arrival() {
+                Some(a) => completion.min(a),
+                None => completion,
+            });
+        }
+        self.next_arrival()
+    }
+
+    fn complete(&mut self, req: usize, at: f64) {
+        let flow = self.requests[req].flow;
+        self.requests[req].remaining = 0.0;
+        self.requests[req].completion = Some(at);
+        let popped = self.flows[flow].queue.pop_front();
+        debug_assert_eq!(popped, Some(req), "only the head of a flow completes");
+        self.completions.push((RequestId::from_index(req), at));
+    }
+
+    /// Advances the fluid schedule to `t` (monotone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the fabric clock.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t >= self.now, "cannot advance backwards");
+        loop {
+            let heads = self.active_heads();
+            if heads.is_empty() {
+                match self.next_arrival() {
+                    Some(a) if a <= t => {
+                        self.events_processed += 1;
+                        self.now = a;
+                    }
+                    _ => {
+                        self.now = t;
+                        return;
+                    }
+                }
+                continue;
+            }
+            self.events_processed += heads.len() as u64;
+            let rates = self.rates(&heads);
+            let candidates: Vec<f64> = heads
+                .iter()
+                .zip(&rates)
+                .map(|(&h, &r)| self.now + self.requests[h].remaining / r)
+                .collect();
+            let next_change = candidates
+                .iter()
+                .copied()
+                .chain(self.next_arrival())
+                .fold(f64::INFINITY, f64::min);
+            let step_to = next_change.min(t);
+            let dt = step_to - self.now;
+            let mut node_active = vec![false; self.spec.nodes];
+            for ((&h, &rate), &candidate) in heads.iter().zip(&rates).zip(&candidates) {
+                let node = self.flows[self.requests[h].flow].node;
+                let moved = if candidate <= step_to {
+                    let left = self.requests[h].remaining;
+                    self.flows[self.requests[h].flow].delivered += left;
+                    self.complete(h, candidate);
+                    left
+                } else if dt > 0.0 {
+                    let m = rate * dt;
+                    self.requests[h].remaining -= m;
+                    self.flows[self.requests[h].flow].delivered += m;
+                    m
+                } else {
+                    0.0
+                };
+                if moved > 0.0 {
+                    self.spine_bytes += moved;
+                    if let Some(k) = node {
+                        self.node_bytes[k] += moved;
+                        node_active[k] = true;
+                    }
+                }
+            }
+            if dt > 0.0 {
+                push_busy(&mut self.spine_busy, self.now, step_to);
+                for (k, active) in node_active.iter().enumerate() {
+                    if *active {
+                        push_busy(&mut self.node_busy[k], self.now, step_to);
+                    }
+                }
+            }
+            self.now = step_to;
+            if self.now >= t {
+                return;
+            }
+        }
+    }
+
+    /// Runs the schedule until every submitted transfer has drained;
+    /// returns the drain time.
+    pub fn run_until_idle(&mut self) -> f64 {
+        while let Some(t) = self.next_event() {
+            self.advance_to(t.max(self.now));
+            if !self.has_backlog() {
+                break;
+            }
+        }
+        self.now
+    }
+}
+
+/// The cluster's link backend: the legacy single [`LinkArbiter`] (flat
+/// fabric — byte-for-byte the pre-fabric code path) or a hierarchical
+/// [`FluidFabric`].
+#[derive(Debug)]
+pub(crate) enum Links {
+    /// One shared link, no node tiers.
+    Flat(LinkArbiter),
+    /// Two-tier hierarchical fabric.
+    Fabric(Box<FluidFabric>),
+}
+
+impl Links {
+    pub(crate) fn flow(&mut self, label: &str, node: Option<usize>) -> FlowId {
+        match self {
+            Links::Flat(a) => a.flow(label),
+            Links::Fabric(f) => f.flow(label, node),
+        }
+    }
+
+    pub(crate) fn submit(
+        &mut self,
+        flow: FlowId,
+        at: f64,
+        wire_bytes: f64,
+        max_rate: f64,
+    ) -> RequestId {
+        match self {
+            Links::Flat(a) => a.submit(flow, at, wire_bytes, max_rate),
+            Links::Fabric(f) => f.submit(flow, at, wire_bytes, max_rate),
+        }
+    }
+
+    pub(crate) fn now(&self) -> f64 {
+        match self {
+            Links::Flat(a) => a.now(),
+            Links::Fabric(f) => f.now(),
+        }
+    }
+
+    pub(crate) fn next_event(&self) -> Option<f64> {
+        match self {
+            Links::Flat(a) => a.next_event(),
+            Links::Fabric(f) => f.next_event(),
+        }
+    }
+
+    pub(crate) fn advance_to(&mut self, t: f64) {
+        match self {
+            Links::Flat(a) => a.advance_to(t),
+            Links::Fabric(f) => f.advance_to(t),
+        }
+    }
+
+    pub(crate) fn take_completions(&mut self) -> Vec<(RequestId, f64)> {
+        match self {
+            Links::Flat(a) => a.take_completions(),
+            Links::Fabric(f) => f.take_completions(),
+        }
+    }
+
+    pub(crate) fn events_processed(&self) -> u64 {
+        match self {
+            Links::Flat(a) => a.events_processed(),
+            Links::Fabric(f) => f.events_processed(),
+        }
+    }
+
+    /// The shared tier's busy intervals: the link (flat) or the spine.
+    pub(crate) fn link_busy(&self) -> &[(f64, f64)] {
+        match self {
+            Links::Flat(a) => a.busy(),
+            Links::Fabric(f) => f.spine_busy(),
+        }
+    }
+
+    /// Per-node-tier busy intervals (empty on a flat fabric).
+    pub(crate) fn node_busy(&self) -> &[Vec<(f64, f64)>] {
+        match self {
+            Links::Flat(_) => &[],
+            Links::Fabric(f) => f.node_busy_all(),
+        }
+    }
+
+    /// `(shared-tier bytes, per-node bytes)` carried so far.
+    pub(crate) fn wire_totals(&self) -> (f64, Vec<f64>) {
+        match self {
+            Links::Flat(a) => (a.delivered_total(), Vec::new()),
+            Links::Fabric(f) => (f.spine_bytes(), f.node_bytes.clone()),
+        }
+    }
+}
+
+/// One job in a churn trace: a network trained for `steps` synchronized
+/// steps on `gpus` GPUs, arriving at `arrival` and (optionally) departing
+/// early, with activation density evolving across `checkpoints` (the §IV
+/// trajectories — checkpoint `⌊done · k / steps⌋` feeds step `done`).
+#[derive(Clone, Copy)]
+pub struct Job<'a> {
+    /// The trained network.
+    pub spec: &'a NetworkSpec,
+    /// Data-parallel width.
+    pub gpus: usize,
+    /// Submission time, seconds.
+    pub arrival: f64,
+    /// Training steps requested.
+    pub steps: usize,
+    /// If set, the job leaves at the first step boundary at or after
+    /// this time, cancelling its unfinished steps.
+    pub departure: Option<f64>,
+    /// Density-evolution checkpoints, earliest epoch first (at least
+    /// one).
+    pub checkpoints: &'a [FidelitySource],
+}
+
+impl std::fmt::Debug for Job<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("spec", &self.spec.name())
+            .field("gpus", &self.gpus)
+            .field("arrival", &self.arrival)
+            .field("steps", &self.steps)
+            .field("departure", &self.departure)
+            .field("checkpoints", &self.checkpoints.len())
+            .finish()
+    }
+}
+
+/// Streaming aggregate over every per-GPU step a churn run simulates —
+/// the bounded-memory replacement for retaining 1000 `StepTimeline`s.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Per-GPU steps folded in.
+    pub gpu_steps: u64,
+    /// Running mean per-GPU step time, seconds.
+    pub mean_step: f64,
+    /// Slowest per-GPU step, seconds.
+    pub max_step: f64,
+    /// Total PCIe stall seconds across every folded step.
+    pub total_stall: f64,
+}
+
+impl RunStats {
+    /// Folds one per-GPU step in (Welford-style incremental mean, so the
+    /// aggregate never retains the samples).
+    pub fn fold(&mut self, total: f64, stall: f64) {
+        self.gpu_steps += 1;
+        self.mean_step += (total - self.mean_step) / self.gpu_steps as f64;
+        self.max_step = self.max_step.max(total);
+        self.total_stall += stall;
+    }
+}
+
+/// One synchronized cluster step of a churn run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStat {
+    /// Absolute start time, seconds.
+    pub start: f64,
+    /// Step duration (the `ClusterTimeline` makespan).
+    pub makespan: f64,
+    /// Tenants resident during the step.
+    pub tenants: usize,
+    /// GPUs busy during the step.
+    pub gpus: usize,
+    /// Shared-tier (spine) utilisation during the step.
+    pub link_utilisation: f64,
+    /// Events the step's simulation processed.
+    pub events: u64,
+}
+
+/// Per-job accounting of a churn run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job's network.
+    pub network: String,
+    /// Data-parallel width.
+    pub gpus: usize,
+    /// Submission time.
+    pub arrival: f64,
+    /// When the job was admitted (`None` — never fit before the run
+    /// drained, or it departed while still queued).
+    pub admitted: Option<f64>,
+    /// Steps the job asked for.
+    pub steps_requested: usize,
+    /// Steps that ran to completion.
+    pub steps_completed: usize,
+    /// Steps cancelled by early departure.
+    pub steps_cancelled: usize,
+    /// When the job's last step finished (`None` if it departed or never
+    /// ran).
+    pub finished: Option<f64>,
+    /// When the job departed early (`None` if it ran to completion).
+    pub departed: Option<f64>,
+}
+
+/// The outcome of one trace-driven churn run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricRun {
+    /// Every synchronized cluster step, in time order.
+    pub steps: Vec<StepStat>,
+    /// Per-job outcomes, in trace order.
+    pub jobs: Vec<JobOutcome>,
+    /// Shared-tier (spine) busy intervals across the whole run, absolute
+    /// time, coalesced.
+    pub spine_busy: Vec<(f64, f64)>,
+    /// Streaming per-GPU-step aggregates.
+    pub stats: RunStats,
+    /// When the last admitted work drained.
+    pub makespan: f64,
+    /// Total events across every step simulation.
+    pub events_processed: u64,
+}
+
+impl FabricRun {
+    /// Fraction of the makespan the shared tier spent busy.
+    pub fn spine_utilisation(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.spine_busy.iter().map(|&(s, e)| e - s).sum();
+        busy / self.makespan
+    }
+}
+
+/// Trace-driven tenant churn over a [`ClusterSim`]: admits [`Job`]s as
+/// GPUs free up, simulates synchronized cluster steps of whoever is
+/// resident, advances each job's density checkpoint per completed step,
+/// and retires or cancels jobs at step boundaries. See the
+/// [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct FabricSim {
+    cluster: ClusterSim,
+}
+
+impl FabricSim {
+    /// A churn driver over `cluster` (whose fabric, if any, bounds
+    /// admission at [`FabricSpec::capacity`] GPUs; a flat cluster admits
+    /// everyone immediately).
+    pub fn new(cluster: ClusterSim) -> Self {
+        FabricSim { cluster }
+    }
+
+    /// The underlying cluster simulator.
+    pub fn cluster(&self) -> &ClusterSim {
+        &self.cluster
+    }
+
+    /// Runs `jobs` to completion (or departure).
+    ///
+    /// Admission is in arrival order with skip-ahead: a queued job too
+    /// wide for the currently free GPUs does not block a later, narrower
+    /// one. Steps are synchronized cluster-wide — the resident set is
+    /// fixed for a step and re-evaluated at every step boundary, which is
+    /// also when departures take effect ("cleanly cancelled": a departing
+    /// job never abandons a step midway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job has zero GPUs or steps, no checkpoints, or is
+    /// wider than the fabric's capacity.
+    pub fn run(&self, jobs: &[Job<'_>]) -> FabricRun {
+        let capacity = self.cluster.fabric().map_or(usize::MAX, |f| f.capacity());
+        for job in jobs {
+            assert!(job.gpus > 0, "{}: need at least one GPU", job.spec.name());
+            assert!(job.steps > 0, "{}: need at least one step", job.spec.name());
+            assert!(
+                !job.checkpoints.is_empty(),
+                "{}: need at least one density checkpoint",
+                job.spec.name()
+            );
+            assert!(
+                job.gpus <= capacity,
+                "{}: {} GPUs exceed the fabric capacity {capacity}",
+                job.spec.name(),
+                job.gpus
+            );
+        }
+        let mut outcomes: Vec<JobOutcome> = jobs
+            .iter()
+            .map(|j| JobOutcome {
+                network: j.spec.name().to_owned(),
+                gpus: j.gpus,
+                arrival: j.arrival,
+                admitted: None,
+                steps_requested: j.steps,
+                steps_completed: 0,
+                steps_cancelled: 0,
+                finished: None,
+                departed: None,
+            })
+            .collect();
+        // Pending jobs in arrival order (stable on ties by trace order).
+        let mut pending: Vec<usize> = (0..jobs.len()).collect();
+        pending.sort_by(|&a, &b| jobs[a].arrival.total_cmp(&jobs[b].arrival));
+        let mut active: Vec<usize> = Vec::new();
+        let mut clock = 0.0f64;
+        let mut steps: Vec<StepStat> = Vec::new();
+        let mut spine_busy: Vec<(f64, f64)> = Vec::new();
+        let mut stats = RunStats::default();
+        let mut events_processed = 0u64;
+        loop {
+            // Step boundary: departures first (a queued job can also give
+            // up waiting), then admission in arrival order.
+            let depart = |j: usize, outcomes: &mut Vec<JobOutcome>, at: f64| {
+                let o = &mut outcomes[j];
+                o.steps_cancelled = o.steps_requested - o.steps_completed;
+                o.departed = Some(at);
+            };
+            active.retain(|&j| {
+                let leaving = jobs[j].departure.is_some_and(|d| d <= clock);
+                if leaving {
+                    depart(j, &mut outcomes, clock);
+                }
+                !leaving
+            });
+            pending.retain(|&j| {
+                let leaving = jobs[j].departure.is_some_and(|d| d <= clock);
+                if leaving {
+                    depart(j, &mut outcomes, clock);
+                }
+                !leaving
+            });
+            let mut used: usize = active.iter().map(|&j| jobs[j].gpus).sum();
+            pending.retain(|&j| {
+                if jobs[j].arrival <= clock && used + jobs[j].gpus <= capacity {
+                    used += jobs[j].gpus;
+                    outcomes[j].admitted = Some(clock);
+                    active.push(j);
+                    false
+                } else {
+                    true
+                }
+            });
+            if active.is_empty() {
+                // Idle: jump to the next arrival, or drain.
+                match pending.iter().map(|&j| jobs[j].arrival).next() {
+                    Some(a) => {
+                        clock = clock.max(a);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            // One synchronized step of the resident set, each job at its
+            // current density checkpoint.
+            let tenants: Vec<Tenant<'_>> = active
+                .iter()
+                .map(|&j| {
+                    let job = &jobs[j];
+                    let n = job.checkpoints.len();
+                    let idx = (outcomes[j].steps_completed * n / job.steps).min(n - 1);
+                    Tenant {
+                        spec: job.spec,
+                        source: &job.checkpoints[idx],
+                        gpus: job.gpus,
+                    }
+                })
+                .collect();
+            let tl = self.cluster.simulate(&tenants);
+            steps.push(StepStat {
+                start: clock,
+                makespan: tl.makespan(),
+                tenants: active.len(),
+                gpus: used,
+                link_utilisation: tl.link_utilisation(),
+                events: tl.events_processed(),
+            });
+            events_processed += tl.events_processed();
+            for t in tl.tenants() {
+                // Every GPU of the tenant walks the same plan; fold the
+                // slowest GPU's breakdown per resident GPU.
+                for _ in 0..t.gpus {
+                    stats.fold(t.step.total(), t.step.forward_stall + t.step.backward_stall);
+                }
+            }
+            for &(s, e) in tl.link_busy() {
+                push_busy(&mut spine_busy, clock + s, clock + e);
+            }
+            clock += tl.makespan();
+            active.retain(|&j| {
+                outcomes[j].steps_completed += 1;
+                let done = outcomes[j].steps_completed == jobs[j].steps;
+                if done {
+                    outcomes[j].finished = Some(clock);
+                }
+                !done
+            });
+        }
+        FabricRun {
+            steps,
+            jobs: outcomes,
+            spine_busy,
+            stats,
+            makespan: clock,
+            events_processed,
+        }
+    }
+}
+
+/// One job of a generated churn trace, naming its network by index into
+/// the caller's network list (so the trace is spec-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobTemplate {
+    /// Submission time, seconds.
+    pub arrival: f64,
+    /// Training steps requested (1–4).
+    pub steps: usize,
+    /// Data-parallel width (a power of two ≤ the requested maximum).
+    pub gpus: usize,
+    /// Early-departure time, if the job leaves mid-run.
+    pub departure: Option<f64>,
+    /// Index into the caller's network list.
+    pub network: usize,
+}
+
+/// `splitmix64` — the same generator `loadgen::fill_activations` uses.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from 53 mantissa bits.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generates a seeded open-loop job mix: exponential interarrivals at
+/// `1/mean_interarrival_s` over `horizon_s`, each job drawing its shape
+/// (steps 1–4, power-of-two width ≤ `max_gpus`, network index below
+/// `networks`, 30% chance of early departure) from a stream derived as
+/// `seed ^ idx · φ64` — the same per-index splitting discipline as
+/// `cdma_serve::loadgen::Schedule`, so churn scenarios and serving
+/// scenarios can share seeds.
+///
+/// # Panics
+///
+/// Panics if `networks` or `max_gpus` is zero, or the horizon or mean
+/// interarrival is not positive.
+pub fn churn_trace(
+    seed: u64,
+    horizon_s: f64,
+    mean_interarrival_s: f64,
+    networks: usize,
+    max_gpus: usize,
+) -> Vec<JobTemplate> {
+    assert!(networks > 0, "need at least one network to draw from");
+    assert!(max_gpus > 0, "need at least one GPU to grant");
+    assert!(horizon_s > 0.0, "horizon must be positive");
+    assert!(
+        mean_interarrival_s > 0.0,
+        "mean interarrival must be positive"
+    );
+    let mut arrivals = seed;
+    let mut trace = Vec::new();
+    let mut t = 0.0f64;
+    for idx in 0u64.. {
+        let u = unit(&mut arrivals);
+        t += -(1.0 - u).ln() * mean_interarrival_s;
+        if t >= horizon_s {
+            break;
+        }
+        let mut job = seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let steps = 1 + (splitmix64(&mut job) % 4) as usize;
+        let width_exp = splitmix64(&mut job) % (max_gpus.ilog2() as u64 + 1);
+        let gpus = 1usize << width_exp;
+        let network = (splitmix64(&mut job) % networks as u64) as usize;
+        let departure = (unit(&mut job) < 0.3).then(|| t + unit(&mut job) * horizon_s * 0.5);
+        trace.push(JobTemplate {
+            arrival: t,
+            steps,
+            gpus,
+            departure,
+            network,
+        });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::UniformRatio;
+    use crate::{ComputeModel, CudnnVersion};
+    use cdma_models::zoo;
+
+    fn two_tier(policy: LinkPolicy) -> FabricSpec {
+        FabricSpec::new(2, 2, 10.0, policy, 10.0, policy)
+    }
+
+    #[test]
+    fn shape_labels_round_trip() {
+        for shape in [
+            FabricShape::Flat,
+            FabricShape::Hierarchical { gpus_per_node: 8 },
+            FabricShape::Hierarchical { gpus_per_node: 2 },
+        ] {
+            let label = shape.label();
+            assert_eq!(label.parse::<FabricShape>().unwrap(), shape);
+        }
+        for t in Tenancy::ALL {
+            assert_eq!(t.label().parse::<Tenancy>().unwrap(), t);
+        }
+        assert!("node0".parse::<FabricShape>().is_err());
+        assert!("mesh".parse::<FabricShape>().is_err());
+        assert!("dynamic".parse::<Tenancy>().is_err());
+    }
+
+    #[test]
+    fn spine_is_the_bottleneck_when_oversubscribed() {
+        // Two nodes of 10 B/s each feed a 10 B/s spine: one flow per
+        // node could do 10 B/s locally but the spine halves both.
+        let mut fab = FluidFabric::new(two_tier(LinkPolicy::BandwidthShare));
+        let a = fab.flow("n0", Some(0));
+        let b = fab.flow("n1", Some(1));
+        let ra = fab.submit(a, 0.0, 40.0, f64::INFINITY);
+        let rb = fab.submit(b, 0.0, 40.0, f64::INFINITY);
+        fab.run_until_idle();
+        assert_eq!(fab.completion(ra), Some(8.0));
+        assert_eq!(fab.completion(rb), Some(8.0));
+        // Conservation: every byte crossed its node tier and the spine.
+        assert!((fab.spine_bytes() - 80.0).abs() < 1e-9);
+        assert!((fab.node_bytes(0) - 40.0).abs() < 1e-9);
+        assert!((fab.node_bytes(1) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_tier_is_the_bottleneck_when_flows_share_a_node() {
+        // Both flows on node 0: its 10 B/s link halves them even though
+        // the spine has headroom; node 1 stays idle.
+        let spec = FabricSpec::new(
+            2,
+            2,
+            10.0,
+            LinkPolicy::BandwidthShare,
+            100.0,
+            LinkPolicy::BandwidthShare,
+        );
+        let mut fab = FluidFabric::new(spec);
+        let a = fab.flow("n0.g0", Some(0));
+        let b = fab.flow("n0.g1", Some(0));
+        let ra = fab.submit(a, 0.0, 40.0, f64::INFINITY);
+        let rb = fab.submit(b, 0.0, 40.0, f64::INFINITY);
+        fab.run_until_idle();
+        assert_eq!(fab.completion(ra), Some(8.0));
+        assert_eq!(fab.completion(rb), Some(8.0));
+        assert!(fab.node_busy(1).is_empty());
+        assert_eq!(fab.node_bytes(1), 0.0);
+    }
+
+    #[test]
+    fn spine_only_flows_skip_the_node_tiers() {
+        let mut fab = FluidFabric::new(two_tier(LinkPolicy::BandwidthShare));
+        let ar = fab.flow("allreduce", None);
+        let r = fab.submit(ar, 0.0, 50.0, f64::INFINITY);
+        fab.run_until_idle();
+        // Full spine bandwidth, node tiers untouched.
+        assert_eq!(fab.completion(r), Some(5.0));
+        assert_eq!(fab.node_bytes(0), 0.0);
+        assert!(fab.node_busy(0).is_empty());
+        assert!((fab.spine_bytes() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_robin_tiers_are_equal_slice_ceilings() {
+        // Three flows on one round-robin node of 12 B/s: 4 B/s each,
+        // even though the bandwidth-share spine would allow more.
+        let spec = FabricSpec::new(
+            1,
+            4,
+            12.0,
+            LinkPolicy::RoundRobin,
+            100.0,
+            LinkPolicy::BandwidthShare,
+        );
+        let mut fab = FluidFabric::new(spec);
+        let flows: Vec<FlowId> = (0..3)
+            .map(|i| fab.flow(&format!("g{i}"), Some(0)))
+            .collect();
+        let reqs: Vec<RequestId> = flows
+            .iter()
+            .map(|&f| fab.submit(f, 0.0, 40.0, f64::INFINITY))
+            .collect();
+        fab.run_until_idle();
+        for r in reqs {
+            assert_eq!(fab.completion(r), Some(10.0));
+        }
+    }
+
+    #[test]
+    fn rate_caps_leave_bandwidth_to_uncapped_flows() {
+        // A capped flow (2 B/s) shares a 10 B/s spine with an uncapped
+        // one: water-filling gives the uncapped flow the remaining 8.
+        let spec = FabricSpec::new(
+            1,
+            2,
+            100.0,
+            LinkPolicy::BandwidthShare,
+            10.0,
+            LinkPolicy::BandwidthShare,
+        );
+        let mut fab = FluidFabric::new(spec);
+        let a = fab.flow("capped", Some(0));
+        let b = fab.flow("open", Some(0));
+        let ra = fab.submit(a, 0.0, 4.0, 2.0);
+        let rb = fab.submit(b, 0.0, 16.0, f64::INFINITY);
+        fab.run_until_idle();
+        assert_eq!(fab.completion(ra), Some(2.0));
+        assert_eq!(fab.completion(rb), Some(2.0));
+    }
+
+    #[test]
+    fn busy_intervals_stay_disjoint_per_tier() {
+        let mut fab = FluidFabric::new(two_tier(LinkPolicy::BandwidthShare));
+        let a = fab.flow("n0", Some(0));
+        let b = fab.flow("n1", Some(1));
+        fab.submit(a, 0.0, 10.0, f64::INFINITY);
+        fab.submit(b, 3.0, 10.0, f64::INFINITY);
+        fab.submit(a, 9.0, 5.0, f64::INFINITY);
+        fab.run_until_idle();
+        for busy in [fab.spine_busy(), fab.node_busy(0), fab.node_busy(1)] {
+            let mut prev = f64::NEG_INFINITY;
+            for &(s, e) in busy {
+                assert!(e > s && s >= prev - 1e-12, "tier double-booked");
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn churn_trace_is_deterministic_and_in_bounds() {
+        let a = churn_trace(7, 100.0, 5.0, 3, 16);
+        let b = churn_trace(7, 100.0, 5.0, 3, 16);
+        assert_eq!(a, b, "same seed, same trace");
+        assert!(!a.is_empty());
+        let c = churn_trace(8, 100.0, 5.0, 3, 16);
+        assert_ne!(a, c, "different seed, different trace");
+        let mut prev = 0.0;
+        for j in &a {
+            assert!(j.arrival >= prev && j.arrival < 100.0);
+            prev = j.arrival;
+            assert!((1..=4).contains(&j.steps));
+            assert!(j.gpus.is_power_of_two() && j.gpus <= 16);
+            assert!(j.network < 3);
+            if let Some(d) = j.departure {
+                assert!(d >= j.arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_run_conserves_every_job() {
+        let spec = zoo::alexnet();
+        let source = FidelitySource::Uniform(UniformRatio::uniform(&spec, 2.0));
+        let checkpoints = [source];
+        let cluster = ClusterSim::new(
+            SystemConfig::titan_x_pcie3(),
+            ComputeModel::titan_x(CudnnVersion::V5),
+            LinkPolicy::BandwidthShare,
+        )
+        .with_fabric(FabricSpec::new(
+            2,
+            2,
+            SystemConfig::titan_x_pcie3().pcie_bw,
+            LinkPolicy::BandwidthShare,
+            SystemConfig::titan_x_pcie3().pcie_bw,
+            LinkPolicy::BandwidthShare,
+        ));
+        let jobs: Vec<Job<'_>> = vec![
+            Job {
+                spec: &spec,
+                gpus: 2,
+                arrival: 0.0,
+                steps: 3,
+                departure: None,
+                checkpoints: &checkpoints,
+            },
+            Job {
+                spec: &spec,
+                gpus: 4,
+                arrival: 0.0,
+                steps: 2,
+                departure: None,
+                checkpoints: &checkpoints,
+            },
+            Job {
+                spec: &spec,
+                gpus: 1,
+                arrival: 0.1,
+                steps: 10,
+                departure: Some(0.2),
+                checkpoints: &checkpoints,
+            },
+        ];
+        let run = FabricSim::new(cluster).run(&jobs);
+        // Job 1 (4-wide) cannot co-reside with job 0 on 4 slots — the
+        // skip-ahead admits job 2 (1-wide) instead.
+        for o in &run.jobs {
+            assert_eq!(
+                o.steps_completed + o.steps_cancelled,
+                o.steps_requested,
+                "{}: steps leaked",
+                o.network
+            );
+        }
+        assert!(run.jobs[0].finished.is_some());
+        assert!(run.jobs[1].finished.is_some());
+        assert!(run.jobs[2].departed.is_some());
+        assert!(run.stats.gpu_steps > 0);
+        assert!(run.makespan > 0.0);
+        assert!(run.spine_utilisation() > 0.0 && run.spine_utilisation() <= 1.0 + 1e-12);
+        let folded: u64 = run.steps.iter().map(|s| s.gpus as u64).sum();
+        assert_eq!(run.stats.gpu_steps, folded, "streaming fold missed a GPU");
+    }
+}

@@ -46,8 +46,10 @@
 
 #![deny(missing_docs)]
 
+pub mod calendar;
 pub mod cluster;
 mod compute;
+pub mod fabric;
 pub mod memory;
 pub mod multi_gpu;
 mod ratio;
@@ -55,8 +57,13 @@ mod schedule;
 pub mod timeline;
 pub mod traffic;
 
+pub use calendar::CalendarQueue;
 pub use cluster::{ClusterSim, ClusterTimeline, GradientAllReduce, Tenant, TenantResult};
 pub use compute::{ComputeModel, CudnnVersion};
+pub use fabric::{
+    churn_trace, FabricRun, FabricShape, FabricSim, FabricSpec, FluidFabric, Job, JobOutcome,
+    JobTemplate, RunStats, StepStat, Tenancy,
+};
 pub use ratio::RatioTable;
 pub use schedule::{StepBreakdown, StepSim, TransferPolicy};
 pub use timeline::{

@@ -37,15 +37,13 @@
 //! memory-controller engines decompress at their aggregate throughput,
 //! whichever is slower. `CdmaEngine::prefetch_time` delegates here.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use cdma_compress::Algorithm;
 use cdma_gpusim::{DmaPipeline, SystemConfig, ZvcEngine};
 use cdma_models::profiles::NetworkProfile;
 use cdma_models::NetworkSpec;
 use cdma_tensor::Layout;
 
+use crate::calendar::CalendarQueue;
 use crate::{ComputeModel, RatioTable, StepBreakdown, TransferPolicy};
 
 /// Seconds to move `compressed_bytes` CPU→GPU and re-inflate them to
@@ -118,11 +116,47 @@ impl std::str::FromStr for LinkPolicy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowId(usize);
 
+impl FlowId {
+    /// Mints a flow handle (shared with the hierarchical fabric, whose
+    /// flows live outside this arbiter).
+    pub(crate) fn from_index(i: usize) -> Self {
+        FlowId(i)
+    }
+
+    /// The flow's registration index.
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Handle of one transfer submitted to a [`LinkArbiter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestId(usize);
 
-/// Default round-robin quantum: sixteen 4 KB DMA lines per turn.
+impl RequestId {
+    /// Mints a request handle (shared with the hierarchical fabric).
+    pub(crate) fn from_index(i: usize) -> Self {
+        RequestId(i)
+    }
+
+    /// The request's submission index.
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Default round-robin quantum in **wire bytes per turn**: 65536 bytes,
+/// i.e. sixteen 4 KB DMA lines. Every quantum in this module is measured
+/// in wire bytes (the compressed size for offloads), never in lines or
+/// flits — [`LinkArbiter::with_quantum`] takes the same unit.
+///
+/// ```
+/// use cdma_vdnn::timeline::DEFAULT_LINK_QUANTUM;
+///
+/// // The unit is wire bytes: sixteen 4 KB lines, not 16 "flits".
+/// assert_eq!(DEFAULT_LINK_QUANTUM, 65536.0);
+/// assert_eq!(DEFAULT_LINK_QUANTUM, 16.0 * 4096.0);
+/// ```
 pub const DEFAULT_LINK_QUANTUM: f64 = 16.0 * 4096.0;
 
 #[derive(Debug)]
@@ -214,7 +248,8 @@ impl LinkArbiter {
         LinkArbiter::with_quantum(bw, policy, DEFAULT_LINK_QUANTUM)
     }
 
-    /// A link with an explicit round-robin quantum (wire bytes per turn).
+    /// A link with an explicit round-robin quantum in wire bytes per
+    /// turn (the same unit as [`DEFAULT_LINK_QUANTUM`]).
     ///
     /// # Panics
     ///
@@ -333,6 +368,12 @@ impl LinkArbiter {
     /// Completions produced since the last call, in completion order.
     pub fn take_completions(&mut self) -> Vec<(RequestId, f64)> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Wire bytes delivered across every flow (the fabric layer's
+    /// conservation counter).
+    pub(crate) fn delivered_total(&self) -> f64 {
+        self.flows.iter().map(|f| f.delivered).sum()
     }
 
     /// Whether any submitted transfer still has bytes to move.
@@ -1143,40 +1184,12 @@ impl StepTimeline {
     }
 }
 
-/// Min-heap entry: events pop in time order, ties broken by insertion
-/// sequence so the log is deterministic.
-struct QueuedEvent {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
 /// The shared event queue plus the record-keeping the simulation threads
-/// through every stage.
+/// through every stage. Events pop from the [`CalendarQueue`] in time
+/// order, ties broken by insertion sequence, so the log is deterministic
+/// (the exact order the retired `BinaryHeap` produced).
 struct Recorder {
-    queue: BinaryHeap<QueuedEvent>,
-    seq: u64,
+    queue: CalendarQueue<EventKind>,
     events: Vec<Event>,
     stages: Vec<StageRecord>,
     busy: [Vec<(f64, f64)>; 3],
@@ -1186,8 +1199,7 @@ struct Recorder {
 impl Recorder {
     fn new() -> Self {
         Recorder {
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: CalendarQueue::new(),
             events: Vec::new(),
             stages: Vec::new(),
             busy: [Vec::new(), Vec::new(), Vec::new()],
@@ -1196,26 +1208,15 @@ impl Recorder {
     }
 
     fn schedule(&mut self, time: f64, kind: EventKind) {
-        self.queue.push(QueuedEvent {
-            time,
-            seq: self.seq,
-            kind,
-        });
-        self.seq += 1;
+        self.queue.push(time, kind);
     }
 
     /// Pops every queued event up to and including `t` into the log.
     fn drain_until(&mut self, t: f64) {
-        while let Some(e) = self.queue.peek() {
-            if e.time > t {
-                break;
-            }
-            let e = self.queue.pop().expect("peeked");
+        while self.queue.min_time().is_some_and(|t0| t0 <= t) {
+            let (time, kind) = self.queue.pop().expect("peeked");
             self.events_processed += 1;
-            self.events.push(Event {
-                time: e.time,
-                kind: e.kind,
-            });
+            self.events.push(Event { time, kind });
         }
     }
 
