@@ -15,10 +15,11 @@
 //!    activation densities that matter (d ∈ {0.05, 0.25, 0.38, 0.75, 1.0};
 //!    0.38 is the paper's network average), with the active ZVC kernel
 //!    (`ZV`), every other tier this CPU supports (`ZVportable`, `ZVsse2`,
-//!    …), and the pre-vectorization scalar kernel (`ZVscalar`) side by
-//!    side. ZVC's *ratio* is density-only, but its *throughput* is
-//!    density-sensitive — sparser input means fewer payload bytes per
-//!    window — which this suite makes visible.
+//!    …), the pre-vectorization scalar kernel (`ZVscalar`), and the
+//!    extension codecs — mask+Huffman (`HF`) and the per-window adaptive
+//!    picker (`AD`) — side by side. ZVC's *ratio* is density-only, but
+//!    its *throughput* is density-sensitive — sparser input means fewer
+//!    payload bytes per window — which this suite makes visible.
 //!
 //! Run with `cargo bench -p cdma-bench --bench streaming`; pass `--fast`
 //! (after `--`) for the CI smoke mode: smaller inputs, no zlib rows, same
@@ -257,6 +258,11 @@ fn bench_density_sweep(h: &mut Harness, fast: bool) {
         }
         sweep_codec(h, "ZVscalar", &ScalarZvc, d, &data);
         sweep_codec(h, "RL", &Algorithm::Rle.codec(), d, &data);
+        // The entropy-coded and adaptive codecs run in --fast too (the CI
+        // smoke lane greps for their rows); only LZ77-powered zlib is too
+        // slow for the smoke budget.
+        sweep_codec(h, "HF", &Algorithm::Huff.codec(), d, &data);
+        sweep_codec(h, "AD", &Algorithm::Adaptive.codec(), d, &data);
         if !fast {
             sweep_codec(h, "ZL", &Algorithm::Zlib.codec(), d, &data);
         }
@@ -399,7 +405,7 @@ fn record(h: &Harness, fast: bool) {
         "ZVportable"
     };
     for d in DENSITIES {
-        for label in ["ZV", portable_label, "ZVscalar"] {
+        for label in ["ZV", portable_label, "ZVscalar", "HF", "AD"] {
             t.gbps_from(h, &format!("compress/{label}/d={d:.2}"));
             t.gbps_from(h, &format!("decompress/{label}/d={d:.2}"));
         }

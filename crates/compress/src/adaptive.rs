@@ -1,0 +1,345 @@
+//! Per-window adaptive codec selection: a cheap density probe picks RLE,
+//! ZVC or DEFLATE for each 4 KB window, at one header byte per window.
+//!
+//! No single codec wins everywhere (§VII-A): RLE is smallest on
+//! clustered near-zero windows, ZVC on scattered-sparse ones, and DEFLATE
+//! is the only one that compresses *dense* windows at all. [`Adaptive`]
+//! slices the input into [`WINDOW_WORDS`]-word windows and probes each
+//! one: the exact RLE and ZVC sizes are closed-form O(n) functions of the
+//! zero runs and the zero count, and only when the window is dense
+//! (non-zero density ≥ ½ — where neither sparse codec can win big) does
+//! the probe pay for a real DEFLATE pass, keeping it when it beats both.
+//!
+//! Wire format: per window, one tag byte (0 = RLE, 1 = ZVC, 2 = DEFLATE)
+//! followed by that codec's complete stream for the window's words. Each
+//! sub-stream's length is recovered on decode by walking its headers
+//! (RLE records, ZVC masks) or its self-delimiting zlib container, so no
+//! per-window length field is stored.
+
+use crate::{deflate, Compressor, DecodeError, Rle, Zlib, Zvc};
+
+/// Words per adaptive window (4 KB of f32 — the paper's DMA window size).
+pub const WINDOW_WORDS: usize = 1024;
+
+const TAG_RLE: u8 = 0;
+const TAG_ZVC: u8 = 1;
+const TAG_DEFLATE: u8 = 2;
+
+/// The per-window adaptive picker codec.
+///
+/// ```
+/// use cdma_compress::{Adaptive, Compressor};
+/// let ad = Adaptive::new();
+/// // A sparse window followed by a dense one: different picks per window.
+/// let mut data = vec![0.0f32; 1024];
+/// data.extend((0..1024).map(|i| (i % 251) as f32 + 0.5));
+/// let bytes = ad.compress(&data);
+/// assert_eq!(ad.decompress(&bytes, data.len()).unwrap(), data);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Adaptive;
+
+impl Adaptive {
+    /// Creates the codec (stateless).
+    pub fn new() -> Self {
+        Adaptive
+    }
+}
+
+/// Exact RLE stream size for `words`, mirroring [`Rle`]'s record format:
+/// one byte per ≤128-word zero run, `1 + 4·n` bytes per ≤128-word
+/// literal run.
+fn rle_exact_size(words: &[f32]) -> usize {
+    let mut size = 0usize;
+    let mut i = 0usize;
+    while i < words.len() {
+        let zero = words[i].to_bits() == 0;
+        let mut n = 0usize;
+        while i + n < words.len() && (words[i + n].to_bits() == 0) == zero {
+            n += 1;
+        }
+        i += n;
+        size += n.div_ceil(128);
+        if !zero {
+            size += 4 * n;
+        }
+    }
+    size
+}
+
+/// Exact ZVC stream size: one `u32` mask per ≤32-word group plus the
+/// packed non-zero words.
+fn zvc_exact_size(words: &[f32], nonzeros: usize) -> usize {
+    words.len().div_ceil(32) * 4 + 4 * nonzeros
+}
+
+/// Walks one RLE sub-stream covering exactly `words` words, returning its
+/// byte length.
+fn rle_walk(bytes: &[u8], words: usize) -> Result<usize, DecodeError> {
+    let mut decoded = 0usize;
+    let mut pos = 0usize;
+    while decoded < words {
+        let h = *bytes
+            .get(pos)
+            .ok_or(DecodeError::Corrupt("truncated adaptive window"))?;
+        pos += 1;
+        let n = (h & 0x7F) as usize + 1;
+        if h & 0x80 == 0 {
+            pos += 4 * n;
+            if pos > bytes.len() {
+                return Err(DecodeError::Corrupt("truncated adaptive window"));
+            }
+        }
+        decoded += n;
+    }
+    if decoded != words {
+        return Err(DecodeError::Corrupt("adaptive window overrun"));
+    }
+    Ok(pos)
+}
+
+/// Walks one ZVC sub-stream covering exactly `words` words, returning its
+/// byte length (masks are trusted only for popcounts; the real decode
+/// re-validates them).
+fn zvc_walk(bytes: &[u8], words: usize) -> Result<usize, DecodeError> {
+    let mut pos = 0usize;
+    let mut remaining = words;
+    while remaining > 0 {
+        let mask_end = pos + 4;
+        if mask_end > bytes.len() {
+            return Err(DecodeError::Corrupt("truncated adaptive window"));
+        }
+        let m = u32::from_le_bytes(bytes[pos..mask_end].try_into().unwrap());
+        pos = mask_end + 4 * m.count_ones() as usize;
+        if pos > bytes.len() {
+            return Err(DecodeError::Corrupt("truncated adaptive window"));
+        }
+        remaining -= remaining.min(32);
+    }
+    Ok(pos)
+}
+
+impl Compressor for Adaptive {
+    fn name(&self) -> &'static str {
+        "AD"
+    }
+
+    fn compress_append(&self, data: &[f32], out: &mut Vec<u8>) {
+        let mut scratch = Vec::new();
+        for chunk in data.chunks(WINDOW_WORDS) {
+            let nz = chunk.iter().filter(|w| w.to_bits() != 0).count();
+            let rle_size = rle_exact_size(chunk);
+            let zvc_size = zvc_exact_size(chunk, nz);
+            if nz * 2 >= chunk.len() {
+                // Dense window: the sparse codecs are near their floor, so
+                // a DEFLATE probe is the only path to real compression.
+                scratch.clear();
+                Zlib::new().compress_append(chunk, &mut scratch);
+                if scratch.len() < rle_size.min(zvc_size) {
+                    out.push(TAG_DEFLATE);
+                    out.extend_from_slice(&scratch);
+                    continue;
+                }
+            }
+            if rle_size <= zvc_size {
+                out.push(TAG_RLE);
+                Rle::new().compress_append(chunk, out);
+            } else {
+                out.push(TAG_ZVC);
+                Zvc::new().compress_append(chunk, out);
+            }
+        }
+    }
+
+    fn decompress_append(
+        &self,
+        bytes: &[u8],
+        element_count: usize,
+        vals: &mut Vec<f32>,
+    ) -> Result<(), DecodeError> {
+        let mut pos = 0usize;
+        let mut done = 0usize;
+        while done < element_count {
+            let w = (element_count - done).min(WINDOW_WORDS);
+            let tag = *bytes
+                .get(pos)
+                .ok_or(DecodeError::Corrupt("truncated adaptive stream"))?;
+            pos += 1;
+            match tag {
+                TAG_RLE => {
+                    let consumed = rle_walk(&bytes[pos..], w)?;
+                    Rle::new().decompress_append(&bytes[pos..pos + consumed], w, vals)?;
+                    pos += consumed;
+                }
+                TAG_ZVC => {
+                    let consumed = zvc_walk(&bytes[pos..], w)?;
+                    Zvc::new().decompress_append(&bytes[pos..pos + consumed], w, vals)?;
+                    pos += consumed;
+                }
+                TAG_DEFLATE => {
+                    let (payload, consumed) = deflate::inflate(&bytes[pos..], w * 4)?;
+                    if payload.len() != w * 4 {
+                        return Err(DecodeError::Corrupt("adaptive window size mismatch"));
+                    }
+                    vals.extend(
+                        payload
+                            .chunks_exact(4)
+                            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                    );
+                    pos += consumed;
+                }
+                _ => return Err(DecodeError::Corrupt("unknown adaptive window tag")),
+            }
+            done += w;
+        }
+        if pos != bytes.len() {
+            return Err(DecodeError::TrailingData {
+                expected: element_count,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[f32]) -> usize {
+        let ad = Adaptive::new();
+        let bytes = ad.compress(data);
+        let back = ad.decompress(&bytes, data.len()).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (a, b) in back.iter().zip(data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        bytes.len()
+    }
+
+    /// A deterministic mixed-density stream: near-zero, mid-density
+    /// random-valued, and dense repetitive windows interleaved.
+    fn mixed_stream() -> Vec<f32> {
+        let mut state = 0xDEADBEEFCAFEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut data = Vec::new();
+        for rep in 0..4 {
+            // Near-zero window: a handful of scattered non-zeros.
+            data.extend((0..WINDOW_WORDS).map(
+                |i| {
+                    if i % 400 == 7 {
+                        (rep + 1) as f32
+                    } else {
+                        0.0
+                    }
+                },
+            ));
+            // Mid-density window: ~70% random-valued non-zeros.
+            for _ in 0..WINDOW_WORDS {
+                let r = next();
+                if r % 10 < 3 {
+                    data.push(0.0);
+                } else {
+                    data.push(f32::from_bits((r >> 32) as u32 | 1));
+                }
+            }
+            // Dense repetitive window: DEFLATE territory.
+            data.extend((0..WINDOW_WORDS).map(|i| ((i % 16) as f32) + 0.5));
+        }
+        data
+    }
+
+    #[test]
+    fn roundtrip_small_inputs() {
+        roundtrip(&[]);
+        roundtrip(&[0.0]);
+        roundtrip(&[1.0]);
+        roundtrip(&[-0.0, f32::NAN, 1.0e-40]);
+        roundtrip(&vec![0.0; WINDOW_WORDS + 1]);
+        roundtrip(&vec![3.25; WINDOW_WORDS * 2 + 17]);
+    }
+
+    #[test]
+    fn every_window_boundary_roundtrips() {
+        for n in [
+            WINDOW_WORDS - 1,
+            WINDOW_WORDS,
+            WINDOW_WORDS + 1,
+            2 * WINDOW_WORDS,
+        ] {
+            let data: Vec<f32> = (0..n)
+                .map(|i| if i % 3 == 0 { 0.0 } else { (i % 100) as f32 })
+                .collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn picks_beat_or_match_every_single_codec() {
+        // The acceptance bar: on a mixed-density stream the adaptive
+        // picker must match or beat the best single codec's ratio.
+        let data = mixed_stream();
+        let ad_size = roundtrip(&data);
+        let rl_size = Rle::new().compress(&data).len();
+        let zv_size = Zvc::new().compress(&data).len();
+        let zl_size = Zlib::new().compress(&data).len();
+        let hf_size = crate::Huff::new().compress(&data).len();
+        let best = rl_size.min(zv_size).min(zl_size).min(hf_size);
+        assert!(
+            ad_size <= best,
+            "adaptive {ad_size} vs best single {best} (rl {rl_size} zv {zv_size} zl {zl_size} hf {hf_size})"
+        );
+    }
+
+    #[test]
+    fn all_three_tags_appear_on_mixed_data() {
+        let data = mixed_stream();
+        let bytes = Adaptive::new().compress(&data);
+        // Walk the stream, collecting tags.
+        let mut tags = std::collections::BTreeSet::new();
+        let mut pos = 0usize;
+        let mut done = 0usize;
+        while done < data.len() {
+            let w = (data.len() - done).min(WINDOW_WORDS);
+            let tag = bytes[pos];
+            tags.insert(tag);
+            pos += 1;
+            pos += match tag {
+                TAG_RLE => rle_walk(&bytes[pos..], w).unwrap(),
+                TAG_ZVC => zvc_walk(&bytes[pos..], w).unwrap(),
+                TAG_DEFLATE => deflate::inflate(&bytes[pos..], w * 4).unwrap().1,
+                _ => unreachable!(),
+            };
+            done += w;
+        }
+        assert_eq!(pos, bytes.len());
+        assert!(
+            tags.contains(&TAG_RLE) && tags.contains(&TAG_ZVC) && tags.contains(&TAG_DEFLATE),
+            "expected all three picks on mixed data, got {tags:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let ad = Adaptive::new();
+        let data = mixed_stream();
+        let good = ad.compress(&data);
+        for cut in [0, 1, 2, 100, good.len() / 2, good.len() - 1] {
+            assert!(ad.decompress(&good[..cut], data.len()).is_err());
+        }
+        // Every tag byte corrupted to an unknown value.
+        let mut bad = good.clone();
+        bad[0] = 0xFF;
+        assert!(matches!(
+            ad.decompress(&bad, data.len()),
+            Err(DecodeError::Corrupt("unknown adaptive window tag"))
+        ));
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(ad.decompress(&padded, data.len()).is_err());
+    }
+}

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::{Csc, DecodeError, Rle, Zlib, Zvc};
+use crate::{Adaptive, Csc, DecodeError, Huff, Rle, Zlib, Zvc};
 
 /// A lossless activation-map compressor, as evaluated in Section V of the
 /// cDMA paper.
@@ -165,6 +165,10 @@ pub enum Codec {
     /// Compressed-sparse-column weight streams (the EIE-style inference
     /// extension; not part of the paper's three candidates).
     Csc(Csc),
+    /// ZVC masks + Huffman-coded non-zero payload.
+    Huff(Huff),
+    /// Per-window adaptive RLE/ZVC/DEFLATE picker.
+    Adaptive(Adaptive),
 }
 
 impl Codec {
@@ -175,6 +179,8 @@ impl Codec {
             Codec::Zvc(_) => Algorithm::Zvc,
             Codec::Zlib(_) => Algorithm::Zlib,
             Codec::Csc(_) => Algorithm::Csc,
+            Codec::Huff(_) => Algorithm::Huff,
+            Codec::Adaptive(_) => Algorithm::Adaptive,
         }
     }
 }
@@ -186,6 +192,8 @@ impl Compressor for Codec {
             Codec::Zvc(c) => c.name(),
             Codec::Zlib(c) => c.name(),
             Codec::Csc(c) => c.name(),
+            Codec::Huff(c) => c.name(),
+            Codec::Adaptive(c) => c.name(),
         }
     }
 
@@ -195,6 +203,8 @@ impl Compressor for Codec {
             Codec::Zvc(c) => c.compress_append(data, out),
             Codec::Zlib(c) => c.compress_append(data, out),
             Codec::Csc(c) => c.compress_append(data, out),
+            Codec::Huff(c) => c.compress_append(data, out),
+            Codec::Adaptive(c) => c.compress_append(data, out),
         }
     }
 
@@ -209,6 +219,8 @@ impl Compressor for Codec {
             Codec::Zvc(c) => c.decompress_append(bytes, element_count, out),
             Codec::Zlib(c) => c.decompress_append(bytes, element_count, out),
             Codec::Csc(c) => c.decompress_append(bytes, element_count, out),
+            Codec::Huff(c) => c.decompress_append(bytes, element_count, out),
+            Codec::Adaptive(c) => c.decompress_append(bytes, element_count, out),
         }
     }
 
@@ -218,6 +230,8 @@ impl Compressor for Codec {
             Codec::Zvc(c) => c.compressed_size(data),
             Codec::Zlib(c) => c.compressed_size(data),
             Codec::Csc(c) => c.compressed_size(data),
+            Codec::Huff(c) => c.compressed_size(data),
+            Codec::Adaptive(c) => c.compressed_size(data),
         }
     }
 }
@@ -248,6 +262,12 @@ pub enum Algorithm {
     /// indices and an automatic codebook mode (EIE-style; added by the
     /// inference extension, not one of the paper's three candidates).
     Csc,
+    /// ZVC presence masks with a Huffman-coded non-zero payload
+    /// (Georgiadis 2018) — entropy coding without an LZ77 window.
+    Huff,
+    /// Per-4 KB-window adaptive picker: a density probe chooses RLE, ZVC
+    /// or DEFLATE for each window, at one tag byte per window.
+    Adaptive,
 }
 
 impl Algorithm {
@@ -258,14 +278,27 @@ impl Algorithm {
     /// [`Algorithm::EXTENDED`].
     pub const ALL: [Algorithm; 3] = [Algorithm::Rle, Algorithm::Zvc, Algorithm::Zlib];
 
-    /// Every algorithm including the CSC weight codec — for ratio
-    /// comparisons that want the inference format next to the paper's
-    /// three.
-    pub const EXTENDED: [Algorithm; 4] = [
+    /// Every algorithm including the extension codecs — for ratio
+    /// comparisons that want the full family next to the paper's three.
+    /// The prefix order is pinned: the paper's three first, then CSC, then
+    /// the entropy/adaptive extensions.
+    pub const EXTENDED: [Algorithm; 6] = [
         Algorithm::Rle,
         Algorithm::Zvc,
         Algorithm::Zlib,
         Algorithm::Csc,
+        Algorithm::Huff,
+        Algorithm::Adaptive,
+    ];
+
+    /// The activation-map codecs: the paper's three plus the entropy-coded
+    /// and adaptive extensions, excluding the weight-only CSC format.
+    pub const ACTIVATION: [Algorithm; 5] = [
+        Algorithm::Rle,
+        Algorithm::Zvc,
+        Algorithm::Zlib,
+        Algorithm::Huff,
+        Algorithm::Adaptive,
     ];
 
     /// Instantiates the statically-dispatched codec for this algorithm.
@@ -275,6 +308,8 @@ impl Algorithm {
             Algorithm::Zvc => Codec::Zvc(Zvc::new()),
             Algorithm::Zlib => Codec::Zlib(Zlib::new()),
             Algorithm::Csc => Codec::Csc(Csc::new()),
+            Algorithm::Huff => Codec::Huff(Huff::new()),
+            Algorithm::Adaptive => Codec::Adaptive(Adaptive::new()),
         }
     }
 
@@ -287,16 +322,20 @@ impl Algorithm {
             Algorithm::Zvc => Box::new(Zvc::new()),
             Algorithm::Zlib => Box::new(Zlib::new()),
             Algorithm::Csc => Box::new(Csc::new()),
+            Algorithm::Huff => Box::new(Huff::new()),
+            Algorithm::Adaptive => Box::new(Adaptive::new()),
         }
     }
 
-    /// Two-letter figure label (`RL`, `ZV`, `ZL`, `CS`).
+    /// Two-letter figure label (`RL`, `ZV`, `ZL`, `CS`, `HF`, `AD`).
     pub fn label(&self) -> &'static str {
         match self {
             Algorithm::Rle => "RL",
             Algorithm::Zvc => "ZV",
             Algorithm::Zlib => "ZL",
             Algorithm::Csc => "CS",
+            Algorithm::Huff => "HF",
+            Algorithm::Adaptive => "AD",
         }
     }
 }
@@ -315,7 +354,11 @@ mod tests {
     fn extended_adds_csc_behind_the_paper_grid() {
         assert_eq!(Algorithm::EXTENDED[..3], Algorithm::ALL);
         assert_eq!(Algorithm::EXTENDED[3], Algorithm::Csc);
+        assert_eq!(Algorithm::EXTENDED[4], Algorithm::Huff);
+        assert_eq!(Algorithm::EXTENDED[5], Algorithm::Adaptive);
         assert!(!Algorithm::ALL.contains(&Algorithm::Csc));
+        assert!(!Algorithm::ACTIVATION.contains(&Algorithm::Csc));
+        assert_eq!(Algorithm::ACTIVATION[..3], Algorithm::ALL);
         let data: Vec<f32> = (0..512)
             .map(|i| if i % 8 == 0 { i as f32 + 0.5 } else { 0.0 })
             .collect();

@@ -1,0 +1,45 @@
+//! Adler-32 (RFC 1950 §8) — the zlib container's payload checksum.
+
+/// Largest prime below 2^16; both running sums reduce modulo it.
+const MOD: u32 = 65_521;
+
+/// Longest run of bytes whose sums cannot overflow `u32` between
+/// reductions (zlib's NMAX).
+const NMAX: usize = 5552;
+
+/// Computes the Adler-32 checksum of `data`, as stored (big-endian) in a
+/// zlib stream's trailer.
+pub(crate) fn adler32(data: &[u8]) -> u32 {
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(NMAX) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 1950 reference values.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(adler32(b"hello world"), 0x1A0B_045D);
+    }
+
+    #[test]
+    fn long_input_reduces_without_overflow() {
+        // 1 MiB of 0xFF exercises many NMAX reduction boundaries;
+        // reference value from Python's zlib.adler32.
+        let data = vec![0xFFu8; 1 << 20];
+        assert_eq!(adler32(&data), 0x8E88_EF11);
+    }
+}

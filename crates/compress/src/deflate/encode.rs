@@ -1,0 +1,270 @@
+//! The RFC 1950/1951 encoder: zlib container around DEFLATE blocks.
+//!
+//! The whole input becomes one DEFLATE block — stored, fixed-Huffman or
+//! dynamic-Huffman, whichever costs fewest bits (stored data above the
+//! 65 535-byte block cap splits into multiple stored blocks). Dynamic
+//! blocks carry their code lengths through the RFC code-length alphabet
+//! (symbols 16/17/18 run-length encode the length tables).
+
+use super::bits::LsbWriter;
+use super::huffman::{canonical_codes, code_lengths};
+use super::lz77::{self, Token, EOB, NUM_DIST, NUM_LITLEN};
+use super::CLCODE_ORDER;
+
+/// Maximum payload of one stored block (16-bit LEN field).
+const STORED_MAX: usize = 65_535;
+const MAX_CODE_LEN: u8 = 15;
+
+/// The fixed literal/length code lengths of RFC 1951 §3.2.6.
+pub(super) fn fixed_litlen_lens() -> [u8; 288] {
+    let mut lens = [8u8; 288];
+    lens[144..256].fill(9);
+    lens[256..280].fill(7);
+    lens
+}
+
+/// The fixed distance code lengths (32 five-bit codes; 30/31 never occur).
+pub(super) fn fixed_dist_lens() -> [u8; 32] {
+    [5u8; 32]
+}
+
+/// One RFC code-length-alphabet symbol: `(symbol, extra_bits, extra_val)`.
+type ClSym = (u8, u8, u8);
+
+/// Run-length encodes a code-length sequence into the 19-symbol RFC
+/// alphabet: 16 repeats the previous length 3–6 times, 17 encodes 3–10
+/// zeros, 18 encodes 11–138 zeros.
+fn rle_code_lengths(seq: &[u8]) -> Vec<ClSym> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < seq.len() {
+        let v = seq[i];
+        let mut run = 1usize;
+        while i + run < seq.len() && seq[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut n = run;
+            while n >= 11 {
+                let take = n.min(138);
+                out.push((18, 7, (take - 11) as u8));
+                n -= take;
+            }
+            if n >= 3 {
+                out.push((17, 3, (n - 3) as u8));
+                n = 0;
+            }
+            for _ in 0..n {
+                out.push((0, 0, 0));
+            }
+        } else {
+            out.push((v, 0, 0));
+            let mut n = run - 1;
+            while n >= 3 {
+                let take = n.min(6);
+                out.push((16, 2, (take - 3) as u8));
+                n -= take;
+            }
+            for _ in 0..n {
+                out.push((v, 0, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+/// A fully planned dynamic-Huffman block header.
+struct DynHeader {
+    hlit: usize,
+    hdist: usize,
+    hclen: usize,
+    cl_lens: [u8; 19],
+    cl_codes: Vec<u32>,
+    syms: Vec<ClSym>,
+    header_bits: usize,
+}
+
+fn plan_dynamic(lit_lens: &[u8], dist_lens: &[u8]) -> DynHeader {
+    let hlit = (lit_lens.iter().rposition(|&l| l > 0).unwrap_or(0) + 1).max(257);
+    let hdist = (dist_lens.iter().rposition(|&l| l > 0).unwrap_or(0) + 1).max(1);
+    let mut seq = Vec::with_capacity(hlit + hdist);
+    seq.extend_from_slice(&lit_lens[..hlit]);
+    seq.extend_from_slice(&dist_lens[..hdist]);
+    let syms = rle_code_lengths(&seq);
+    let mut cl_freq = [0u64; 19];
+    for &(s, _, _) in &syms {
+        cl_freq[s as usize] += 1;
+    }
+    let cl_lens_v = code_lengths(&cl_freq, 7);
+    let mut cl_lens = [0u8; 19];
+    cl_lens.copy_from_slice(&cl_lens_v);
+    let cl_codes = canonical_codes(&cl_lens);
+    let hclen = CLCODE_ORDER
+        .iter()
+        .rposition(|&s| cl_lens[s] > 0)
+        .map_or(4, |i| (i + 1).max(4));
+    let header_bits = 5
+        + 5
+        + 4
+        + hclen * 3
+        + syms
+            .iter()
+            .map(|&(s, eb, _)| cl_lens[s as usize] as usize + eb as usize)
+            .sum::<usize>();
+    DynHeader {
+        hlit,
+        hdist,
+        hclen,
+        cl_lens,
+        cl_codes,
+        syms,
+        header_bits,
+    }
+}
+
+/// Total coded-symbol bits for `tokens` (plus the end-of-block code)
+/// under the given code lengths.
+fn token_bits(tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) -> usize {
+    let mut bits = lit_lens[EOB] as usize;
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => bits += lit_lens[b as usize] as usize,
+            Token::Match { len, dist } => {
+                let (lc, _, lex) = lz77::length_to_code(len);
+                let (dc, _, dex) = lz77::distance_to_code(dist);
+                bits += lit_lens[lc] as usize + lex as usize;
+                bits += dist_lens[dc] as usize + dex as usize;
+            }
+        }
+    }
+    bits
+}
+
+fn emit_tokens(w: &mut LsbWriter, tokens: &[Token], codes: &BlockCodes) {
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                let s = b as usize;
+                w.write_code(codes.lit_codes[s], codes.lit_lens[s]);
+            }
+            Token::Match { len, dist } => {
+                let (lc, lex, lexbits) = lz77::length_to_code(len);
+                w.write_code(codes.lit_codes[lc], codes.lit_lens[lc]);
+                w.write_bits(lex as u32, lexbits as u32);
+                let (dc, dex, dexbits) = lz77::distance_to_code(dist);
+                w.write_code(codes.dist_codes[dc], codes.dist_lens[dc]);
+                w.write_bits(dex as u32, dexbits as u32);
+            }
+        }
+    }
+    w.write_code(codes.lit_codes[EOB], codes.lit_lens[EOB]);
+}
+
+struct BlockCodes {
+    lit_lens: Vec<u8>,
+    lit_codes: Vec<u32>,
+    dist_lens: Vec<u8>,
+    dist_codes: Vec<u32>,
+}
+
+fn emit_stored(w: &mut LsbWriter, data: &[u8]) {
+    let mut chunks: Vec<&[u8]> = data.chunks(STORED_MAX).collect();
+    if chunks.is_empty() {
+        chunks.push(&[]);
+    }
+    let last = chunks.len() - 1;
+    for (i, chunk) in chunks.iter().enumerate() {
+        w.write_bits(u32::from(i == last), 1);
+        w.write_bits(0, 2); // BTYPE=00
+        w.align_byte();
+        let len = chunk.len() as u16;
+        w.write_bytes(&len.to_le_bytes());
+        w.write_bytes(&(!len).to_le_bytes());
+        w.write_bytes(chunk);
+    }
+}
+
+/// Compresses `data` into a complete zlib stream appended to `out`.
+pub(crate) fn compress(data: &[u8], max_chain: usize, out: Vec<u8>) -> Vec<u8> {
+    let mut w = LsbWriter::with_buffer(out);
+    // CMF/FLG: CM=8 (deflate), CINFO=7 (32K window), FLEVEL=2, FCHECK
+    // making the pair divisible by 31 — the standard 0x78 0x9C header.
+    w.write_bytes(&[0x78, 0x9C]);
+
+    let tokens = lz77::tokenize(data, max_chain);
+    let mut lit_freq = vec![0u64; NUM_LITLEN];
+    let mut dist_freq = vec![0u64; NUM_DIST];
+    lit_freq[EOB] = 1;
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[lz77::length_to_code(len).0] += 1;
+                dist_freq[lz77::distance_to_code(dist).0] += 1;
+            }
+        }
+    }
+    let lit_lens = code_lengths(&lit_freq, MAX_CODE_LEN);
+    let mut dist_lens = code_lengths(&dist_freq, MAX_CODE_LEN);
+    if dist_lens.iter().all(|&l| l == 0) {
+        // RFC requires at least one distance code in a dynamic header even
+        // when no matches reference it (zlib emits the same placeholder).
+        dist_lens[0] = 1;
+    }
+
+    // A dynamic litlen code with fewer than two used symbols would be
+    // incomplete, which strict inflaters reject — fall back to fixed.
+    let dynamic_ok = lit_freq.iter().filter(|&&f| f > 0).count() >= 2;
+    let dyn_plan = dynamic_ok.then(|| plan_dynamic(&lit_lens, &dist_lens));
+    let dyn_bits = dyn_plan.as_ref().map_or(usize::MAX, |p| {
+        3 + p.header_bits + token_bits(&tokens, &lit_lens, &dist_lens)
+    });
+    let fixed_ll = fixed_litlen_lens();
+    let fixed_dl = fixed_dist_lens();
+    let fixed_bits = 3 + token_bits(&tokens, &fixed_ll, &fixed_dl[..NUM_DIST]);
+    let stored_blocks = data.len().div_ceil(STORED_MAX).max(1);
+    let stored_bits = (data.len() + 5 * stored_blocks) * 8;
+
+    if stored_bits <= dyn_bits && stored_bits <= fixed_bits {
+        emit_stored(&mut w, data);
+    } else if dyn_bits <= fixed_bits {
+        let p = dyn_plan.expect("dynamic cost is finite only when planned");
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(2, 2); // BTYPE=10 dynamic
+        w.write_bits((p.hlit - 257) as u32, 5);
+        w.write_bits((p.hdist - 1) as u32, 5);
+        w.write_bits((p.hclen - 4) as u32, 4);
+        for &s in CLCODE_ORDER.iter().take(p.hclen) {
+            w.write_bits(p.cl_lens[s] as u32, 3);
+        }
+        for &(s, eb, ev) in &p.syms {
+            w.write_code(p.cl_codes[s as usize], p.cl_lens[s as usize]);
+            if eb > 0 {
+                w.write_bits(ev as u32, eb as u32);
+            }
+        }
+        let codes = BlockCodes {
+            lit_codes: canonical_codes(&lit_lens),
+            dist_codes: canonical_codes(&dist_lens),
+            lit_lens,
+            dist_lens,
+        };
+        emit_tokens(&mut w, &tokens, &codes);
+    } else {
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(1, 2); // BTYPE=01 fixed
+        let lit_lens = fixed_ll.to_vec();
+        let dist_lens = fixed_dl[..NUM_DIST].to_vec();
+        let codes = BlockCodes {
+            lit_codes: canonical_codes(&lit_lens),
+            dist_codes: canonical_codes(&dist_lens),
+            lit_lens,
+            dist_lens,
+        };
+        emit_tokens(&mut w, &tokens, &codes);
+    }
+    w.align_byte();
+    w.write_bytes(&super::adler::adler32(data).to_be_bytes());
+    w.finish()
+}

@@ -1,0 +1,301 @@
+//! Length-limited canonical Huffman coding shared by the DEFLATE
+//! encoder/decoder and the [`crate::Huff`] sparse codec.
+//!
+//! Code lengths come from the package-merge construction (optimal under a
+//! length limit); code values are the canonical assignment of RFC 1951
+//! §3.2.2. Decoding is table-driven: one peek of `max_len` LSB-first bits
+//! indexes a flat lookup table whose entries carry `(symbol, length)`, so
+//! a symbol costs one load instead of a bit-by-bit tree walk.
+
+use super::bits::{reverse_bits, LsbReader};
+use crate::DecodeError;
+
+/// Computes length-limited code lengths for `freqs` using the
+/// package-merge algorithm. Symbols with zero frequency get length 0
+/// (absent from the code); a single used symbol gets length 1. For two or
+/// more used symbols the construction yields a complete code (Kraft sum
+/// exactly 1).
+pub(crate) fn code_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lens,
+        1 => {
+            lens[used[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+    assert!(
+        (1usize << max_len) >= used.len(),
+        "alphabet too large for max code length"
+    );
+    // Package-merge over (freq, leaf-multiset) nodes.
+    #[derive(Clone)]
+    struct Node {
+        freq: u64,
+        leaves: Vec<u32>,
+    }
+    let mut items: Vec<Node> = used
+        .iter()
+        .map(|&s| Node {
+            freq: freqs[s],
+            leaves: vec![s as u32],
+        })
+        .collect();
+    items.sort_by_key(|n| n.freq);
+    let mut list = items.clone();
+    for _ in 1..max_len {
+        // Package: pair adjacent nodes.
+        let mut packaged = Vec::with_capacity(list.len() / 2);
+        for pair in list.chunks_exact(2) {
+            let mut leaves = pair[0].leaves.clone();
+            leaves.extend_from_slice(&pair[1].leaves);
+            packaged.push(Node {
+                freq: pair[0].freq + pair[1].freq,
+                leaves,
+            });
+        }
+        // Merge with the original items, keeping sorted order.
+        let mut merged = Vec::with_capacity(items.len() + packaged.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < items.len() || b < packaged.len() {
+            let take_item =
+                b >= packaged.len() || (a < items.len() && items[a].freq <= packaged[b].freq);
+            if take_item {
+                merged.push(items[a].clone());
+                a += 1;
+            } else {
+                merged.push(packaged[b].clone());
+                b += 1;
+            }
+        }
+        list = merged;
+    }
+    for node in list.iter().take(2 * used.len() - 2) {
+        for &leaf in &node.leaves {
+            lens[leaf as usize] += 1;
+        }
+    }
+    debug_assert!(kraft_ok(&lens));
+    lens
+}
+
+fn kraft_ok(lens: &[u8]) -> bool {
+    let sum: f64 = lens
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 2f64.powi(-(l as i32)))
+        .sum();
+    sum <= 1.0 + 1e-9
+}
+
+/// Assigns canonical code values (MSB-first, RFC 1951 §3.2.2) given code
+/// lengths.
+pub(crate) fn canonical_codes(lens: &[u8]) -> Vec<u32> {
+    let max = lens.iter().copied().max().unwrap_or(0) as usize;
+    let mut count = vec![0u32; max + 1];
+    for &l in lens {
+        if l > 0 {
+            count[l as usize] += 1;
+        }
+    }
+    let mut next = vec![0u32; max + 2];
+    let mut code = 0u32;
+    for l in 1..=max {
+        code = (code + count[l - 1]) << 1;
+        next[l] = code;
+    }
+    let mut codes = vec![0u32; lens.len()];
+    for (s, &l) in lens.iter().enumerate() {
+        if l > 0 {
+            codes[s] = next[l as usize];
+            next[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+/// Flat-table canonical Huffman decoder for LSB-first streams.
+///
+/// The table has `1 << max_len` entries; entry `i` answers "if the next
+/// `max_len` bits (LSB first) were `i`, which symbol starts here and how
+/// long is its code". Each code of length `l` is replicated at every
+/// index sharing its `l` low bits. Unassigned entries (possible when the
+/// code is *incomplete*, e.g. the single-distance-code streams zlib
+/// emits) stay 0 and are rejected at decode time — never at build time,
+/// because RFC-valid streams rely on them being merely unused.
+pub(crate) struct DecodeTable {
+    /// `(len << 12) | symbol`; 0 means "no code starts with these bits".
+    table: Vec<u16>,
+    max_len: u32,
+}
+
+impl DecodeTable {
+    /// Builds a decode table. Returns `Ok(None)` for an empty alphabet
+    /// (no symbol has a code) and `Err` for an oversubscribed one (Kraft
+    /// sum above 1 — no prefix code exists).
+    pub(crate) fn from_lengths(lens: &[u8]) -> Result<Option<Self>, DecodeError> {
+        let max_len = lens.iter().copied().max().unwrap_or(0) as u32;
+        if max_len == 0 {
+            return Ok(None);
+        }
+        debug_assert!(max_len <= 15 && lens.len() <= (1 << 12));
+        // Kraft sum in units of 2^-max_len: over 1 << max_len means two
+        // codes would need the same bits.
+        let mut total = 0u64;
+        for &l in lens {
+            if l > 0 {
+                total += 1u64 << (max_len - l as u32);
+            }
+        }
+        if total > 1u64 << max_len {
+            return Err(DecodeError::Corrupt("oversubscribed huffman code"));
+        }
+        let codes = canonical_codes(lens);
+        let mut table = vec![0u16; 1usize << max_len];
+        for (sym, &l) in lens.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let entry = ((l as u16) << 12) | sym as u16;
+            let first = reverse_bits(codes[sym], l) as usize;
+            let step = 1usize << l;
+            let mut i = first;
+            while i < table.len() {
+                table[i] = entry;
+                i += step;
+            }
+        }
+        Ok(Some(DecodeTable { table, max_len }))
+    }
+
+    /// Decodes one symbol. Errors on bit patterns no code starts with and
+    /// on codes cut off by the end of input.
+    #[inline]
+    pub(crate) fn decode(&self, r: &mut LsbReader<'_>) -> Result<usize, DecodeError> {
+        let (bits, avail) = r.peek(self.max_len);
+        let entry = self.table[bits as usize];
+        if entry == 0 {
+            return Err(DecodeError::Corrupt("invalid huffman code"));
+        }
+        let len = (entry >> 12) as u32;
+        if len > avail {
+            return Err(DecodeError::Corrupt("unexpected end of stream"));
+        }
+        r.consume(len);
+        Ok((entry & 0x0FFF) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::bits::LsbWriter;
+
+    #[test]
+    fn lengths_obey_kraft_and_limit() {
+        let freqs: Vec<u64> = (0..50).map(|i| (i * i + 1) as u64).collect();
+        let lens = code_lengths(&freqs, 7);
+        assert!(lens.iter().all(|&l| l <= 7));
+        assert!(kraft_ok(&lens));
+        assert!(lens.iter().any(|&l| l > 0));
+    }
+
+    #[test]
+    fn single_symbol_gets_length_one() {
+        let mut freqs = vec![0u64; 10];
+        freqs[3] = 42;
+        let lens = code_lengths(&freqs, 15);
+        assert_eq!(lens[3], 1);
+        assert_eq!(lens.iter().map(|&l| l as u32).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn two_or_more_symbols_give_a_complete_code() {
+        for n in 2..20u64 {
+            let freqs: Vec<u64> = (0..n).map(|i| i * 31 + 1).collect();
+            let lens = code_lengths(&freqs, 15);
+            let kraft: u64 = lens.iter().map(|&l| 1u64 << (15 - l as u32)).sum();
+            assert_eq!(kraft, 1 << 15, "incomplete code for n={n}");
+        }
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let freqs = vec![1000u64, 1, 1, 1, 1, 1, 1, 1];
+        let lens = code_lengths(&freqs, 15);
+        assert!(lens[0] < lens[7]);
+    }
+
+    #[test]
+    fn table_roundtrip_all_symbols() {
+        let freqs: Vec<u64> = vec![90, 5, 5, 20, 1, 0, 64, 3];
+        let lens = code_lengths(&freqs, 15);
+        let codes = canonical_codes(&lens);
+        let dec = DecodeTable::from_lengths(&lens).unwrap().unwrap();
+        for s in 0..freqs.len() {
+            if lens[s] == 0 {
+                continue;
+            }
+            let mut w = LsbWriter::with_buffer(Vec::new());
+            w.write_code(codes[s], lens[s]);
+            let bytes = w.finish();
+            let mut r = LsbReader::new(&bytes);
+            assert_eq!(dec.decode(&mut r).unwrap(), s, "symbol {s}");
+        }
+    }
+
+    #[test]
+    fn fixed_litlen_codes_match_rfc_values() {
+        // RFC 1951 §3.2.6 spells out the fixed literal/length code; the
+        // canonical assignment must reproduce it exactly.
+        let mut lens = [0u8; 288];
+        lens[..144].fill(8);
+        lens[144..256].fill(9);
+        lens[256..280].fill(7);
+        lens[280..].fill(8);
+        let codes = canonical_codes(&lens);
+        assert_eq!(codes[0], 0b0011_0000);
+        assert_eq!(codes[143], 0b1011_1111);
+        assert_eq!(codes[144], 0b1_1001_0000);
+        assert_eq!(codes[255], 0b1_1111_1111);
+        assert_eq!(codes[256], 0);
+        assert_eq!(codes[279], 0b001_0111);
+        assert_eq!(codes[280], 0b1100_0000);
+        assert_eq!(codes[287], 0b1100_0111);
+    }
+
+    #[test]
+    fn oversubscribed_lengths_are_rejected() {
+        // Three codes of length 1 cannot coexist.
+        assert!(DecodeTable::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn incomplete_code_builds_but_rejects_unused_patterns() {
+        // One length-1 code: bit 0 decodes, bit 1 must error (not panic).
+        let dec = DecodeTable::from_lengths(&[1]).unwrap().unwrap();
+        let mut r = LsbReader::new(&[0b0000_0000]);
+        assert_eq!(dec.decode(&mut r).unwrap(), 0);
+        let mut r = LsbReader::new(&[0b0000_0001]);
+        assert!(dec.decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn empty_alphabet_has_no_table() {
+        assert!(DecodeTable::from_lengths(&[0, 0, 0]).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_code_is_an_error() {
+        // A 9-bit code with only 8 bits in the stream.
+        let mut lens = vec![9u8; 256];
+        lens.extend_from_slice(&[7; 24]);
+        lens[..144].fill(8);
+        let dec = DecodeTable::from_lengths(&lens).unwrap().unwrap();
+        // 0xFF.. selects a 9-bit code (literal >= 144 region).
+        let mut r = LsbReader::new(&[0xFF]);
+        assert!(dec.decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! The LZ77 match stage and the RFC 1951 length/distance code tables.
+//!
+//! Tokenization uses hash-chained match search over a 32 KB sliding
+//! window — zlib's structure, with the chain depth as the effort knob.
+
+pub(crate) const MIN_MATCH: usize = 3;
+pub(crate) const MAX_MATCH: usize = 258;
+pub(crate) const WINDOW: usize = 32 * 1024;
+/// Literal/length alphabet: 256 literals + end-of-block + 29 length codes.
+pub(crate) const NUM_LITLEN: usize = 286;
+pub(crate) const EOB: usize = 256;
+pub(crate) const NUM_DIST: usize = 30;
+
+/// DEFLATE length-code table: `(base_length, extra_bits)` for codes 257..286.
+pub(crate) const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
+];
+
+/// DEFLATE distance-code table: `(base_distance, extra_bits)` for codes 0..30.
+pub(crate) const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+];
+
+/// Maps a match length to `(litlen code, extra value, extra bits)`.
+pub(crate) fn length_to_code(len: usize) -> (usize, u16, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    // Last matching entry whose base <= len.
+    let mut idx = 0;
+    for (i, &(base, _)) in LEN_TABLE.iter().enumerate() {
+        if (base as usize) <= len {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    // Code 285 (index 28) encodes exactly 258 with no extra bits; lengths in
+    // [227+31, 257] belong to code 284.
+    if idx == 28 && len != 258 {
+        idx = 27;
+    }
+    let (base, extra) = LEN_TABLE[idx];
+    (257 + idx, len as u16 - base, extra)
+}
+
+/// Maps a match distance to `(distance code, extra value, extra bits)`.
+pub(crate) fn distance_to_code(dist: usize) -> (usize, u16, u8) {
+    debug_assert!((1..=WINDOW).contains(&dist));
+    let mut idx = 0;
+    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
+        if (base as usize) <= dist {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, dist as u16 - base, extra)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+/// Tokenizes `data` with hash-chained LZ77, inspecting at most
+/// `max_chain` candidate positions per match attempt.
+pub(crate) fn tokenize(data: &[u8], max_chain: usize) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    const HASH_BITS: usize = 15;
+    const HASH_SIZE: usize = 1 << HASH_BITS;
+    let hash = |d: &[u8], i: usize| -> usize {
+        let h = (d[i] as u32)
+            .wrapping_mul(0x9E37)
+            .wrapping_add((d[i + 1] as u32).wrapping_mul(0x79B9))
+            .wrapping_add((d[i + 2] as u32).wrapping_mul(0x1E35));
+        (h as usize) & (HASH_SIZE - 1)
+    };
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data, i);
+            let mut cand = head[h];
+            let mut chain = max_chain;
+            while cand != usize::MAX && chain > 0 {
+                let dist = i - cand;
+                if dist > WINDOW {
+                    break;
+                }
+                let max_len = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l == max_len {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain -= 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len,
+                dist: best_dist,
+            });
+            // Insert hash entries for every position the match covers so
+            // later data can refer back inside it.
+            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            #[allow(clippy::needless_range_loop)] // j indexes data, prev and head together
+            for j in i..end {
+                let h = hash(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            if i + MIN_MATCH <= data.len() {
+                let h = hash(data, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_code_bins_are_consistent() {
+        for len in MIN_MATCH..=MAX_MATCH {
+            let (code, extra_val, extra_bits) = length_to_code(len);
+            assert!((257..257 + 29).contains(&code));
+            let (base, eb) = LEN_TABLE[code - 257];
+            assert_eq!(eb, extra_bits);
+            assert_eq!(base as usize + extra_val as usize, len);
+            assert!(extra_val < (1 << extra_bits) || extra_bits == 0 && extra_val == 0);
+        }
+    }
+
+    #[test]
+    fn distance_code_bins_are_consistent() {
+        for dist in 1..=WINDOW {
+            let (code, extra_val, extra_bits) = distance_to_code(dist);
+            assert!(code < 30);
+            let (base, eb) = DIST_TABLE[code];
+            assert_eq!(eb, extra_bits);
+            assert_eq!(base as usize + extra_val as usize, dist);
+        }
+    }
+
+    #[test]
+    fn tokens_reconstruct_the_input() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 37) as u8).collect();
+        let tokens = tokenize(&data, 64);
+        let mut back = Vec::new();
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => back.push(b),
+                Token::Match { len, dist } => {
+                    let start = back.len() - dist;
+                    for k in 0..len {
+                        let b = back[start + k];
+                        back.push(b);
+                    }
+                }
+            }
+        }
+        assert_eq!(back, data);
+        assert!(tokens.len() < data.len() / 4, "period-37 data should match");
+    }
+}

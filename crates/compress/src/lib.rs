@@ -1,4 +1,4 @@
-//! # cdma-compress — the three compression algorithms evaluated by the cDMA paper
+//! # cdma-compress — the codec family evaluated by the cDMA paper
 //!
 //! Section V of Rhu et al. (HPCA 2018) evaluates three candidate algorithms
 //! for the compressing DMA engine:
@@ -10,16 +10,28 @@
 //!   32 consecutive activation words become a 32-bit presence mask followed
 //!   by the packed non-zero words. Compression is a pure function of the
 //!   zero count, so it is completely layout-insensitive.
-//! * [`Zlib`] — a DEFLATE-style LZ77 + canonical-Huffman coder, standing in
-//!   for the paper's zlib upper bound. Too slow/complex for a 100 GB/s
-//!   hardware engine; included to quantify what ZVC leaves on the table.
+//! * [`Zlib`] — the paper's zlib upper bound, implemented as a fully
+//!   RFC 1950/1951-interoperable DEFLATE coder: its streams decode with any
+//!   standard zlib, and its inflater decodes any conforming producer's
+//!   streams (stored, fixed- and dynamic-Huffman blocks). Too slow/complex
+//!   for a 100 GB/s hardware engine; included to quantify what ZVC leaves
+//!   on the table.
 //!
-//! A fourth codec, [`Csc`] — EIE-style compressed-sparse-column weight
-//! streams with 4-bit relative indices and an automatic codebook mode —
-//! serves the inference extension (`cdma-infer`). It is wired through
-//! [`Algorithm::EXTENDED`] but deliberately kept out of
-//! [`Algorithm::ALL`], so the paper-grid figures stay pinned to the
-//! paper's three candidates.
+//! Three more codecs extend the family beyond the paper's core three:
+//!
+//! * [`Csc`] — EIE-style compressed-sparse-column weight streams with
+//!   4-bit relative indices and an automatic codebook mode — serves the
+//!   inference extension (`cdma-infer`).
+//! * [`Huff`] — ZVC presence masks with a canonical-Huffman-coded non-zero
+//!   payload (Georgiadis 2018): entropy coding without an LZ77 window,
+//!   recovering much of DEFLATE's ratio at a fraction of its hardware cost.
+//! * [`Adaptive`] — a per-4 KB-window picker that probes each window's
+//!   density and chooses RLE, ZVC or DEFLATE for it, at one tag byte per
+//!   window.
+//!
+//! All six are wired through [`Algorithm::EXTENDED`], but only the paper's
+//! three live in [`Algorithm::ALL`], so the paper-grid figures stay pinned
+//! to the paper's candidates.
 //!
 //! All compressors implement [`Compressor`], operate on `f32` activation
 //! words (the paper's data type), and are **lossless**: decode(encode(x))
@@ -94,24 +106,27 @@
 
 #![deny(missing_docs)]
 
+mod adaptive;
 mod algorithm;
-mod bitio;
 mod csc;
+mod deflate;
 mod error;
+mod huff;
 pub mod pool;
 mod rle;
 mod stats;
 pub mod windowed;
 pub(crate) mod workers;
-mod zlib;
 mod zvc;
 
+pub use adaptive::{Adaptive, WINDOW_WORDS as ADAPTIVE_WINDOW_WORDS};
 pub use algorithm::{Algorithm, Codec, Compressor};
 pub use csc::{Csc, CscNonzeros};
+pub use deflate::Zlib;
 pub use error::DecodeError;
+pub use huff::Huff;
 pub use rle::Rle;
 pub use stats::CompressionStats;
-pub use zlib::Zlib;
 pub use zvc::{kernel_info, sector_mask, Kernel, KernelInfo, KernelTier, Zvc, ZVC_WINDOW_ELEMS};
 
 #[doc(hidden)]

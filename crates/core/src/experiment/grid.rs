@@ -27,12 +27,20 @@ pub struct Fig11Row {
     pub max_ratio: f64,
 }
 
-/// The Fig. 11 report: one row per grid cell.
+/// The Fig. 11 report: one row per grid cell, plus the extension-codec
+/// rows kept in a separate table so the paper grid stays pinned.
 #[derive(Debug, Clone)]
 pub struct Fig11Report {
-    /// The grid rows, in paper-grid order.
+    /// The grid rows, in paper-grid order (the paper's three codecs).
     pub rows: Vec<Fig11Row>,
+    /// Extension-codec rows (HF, AD) over the same network × layout
+    /// cells — reported alongside but never mixed into the paper grid.
+    pub extended: Vec<Fig11Row>,
 }
+
+/// The codecs reported in Fig. 11's companion table but absent from the
+/// paper's own grid.
+const FIG11_EXTENSION_ALGS: [Algorithm; 2] = [Algorithm::Huff, Algorithm::Adaptive];
 
 /// Generates Fig. 11 over the (possibly filtered) paper grid.
 pub fn fig11(ctx: &Context, runner: &Runner, filter: &ScenarioFilter) -> Fig11Report {
@@ -47,7 +55,45 @@ pub fn fig11(ctx: &Context, runner: &Runner, filter: &ScenarioFilter) -> Fig11Re
             max_ratio: t.max_layer_ratio(),
         }
     });
-    Fig11Report { rows }
+    // One extension-codec row per distinct (network, layout) cell the
+    // filter's non-algorithm axes admit. The cells are derived from the
+    // *unfiltered* grid with the algorithm swapped to an extension codec,
+    // so `--filter alg=hf,ad` still produces extension rows even though
+    // no paper-grid scenario carries those codecs.
+    let algs: Vec<Algorithm> = FIG11_EXTENSION_ALGS
+        .into_iter()
+        .filter(|a| filter.matches_algorithm(*a))
+        .collect();
+    let mut cells: Vec<(String, Layout)> = Vec::new();
+    if let Some(&probe_alg) = algs.first() {
+        for s in ScenarioSet::paper_grid().scenarios() {
+            let mut probe = s.clone();
+            probe.algorithm = probe_alg;
+            let cell = (s.network.clone(), s.layout);
+            if filter.matches(&probe) && !cells.contains(&cell) {
+                cells.push(cell);
+            }
+        }
+    }
+    let extended = runner
+        .map(&cells, |(network, layout)| {
+            algs.iter()
+                .map(|&alg| {
+                    let t = ctx.traffic(network, alg, *layout);
+                    Fig11Row {
+                        network: network.clone(),
+                        layout: *layout,
+                        algorithm: alg,
+                        avg_ratio: t.avg_ratio(),
+                        max_ratio: t.max_layer_ratio(),
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    Fig11Report { rows, extended }
 }
 
 impl Report for Fig11Report {
@@ -60,20 +106,27 @@ impl Report for Fig11Report {
     }
 
     fn tables(&self) -> Vec<Table> {
-        let mut t = Table::new(
-            "compression ratios",
-            &["network", "layout", "algorithm", "avg_ratio", "max_ratio"],
-        );
-        for r in &self.rows {
-            t.row([
-                r.network.as_str().into(),
-                r.layout.to_string().into(),
-                r.algorithm.label().into(),
-                Cell::Num(r.avg_ratio),
-                Cell::Num(r.max_ratio),
-            ]);
+        let cols = ["network", "layout", "algorithm", "avg_ratio", "max_ratio"];
+        let fill = |t: &mut Table, rows: &[Fig11Row]| {
+            for r in rows {
+                t.row([
+                    r.network.as_str().into(),
+                    r.layout.to_string().into(),
+                    r.algorithm.label().into(),
+                    Cell::Num(r.avg_ratio),
+                    Cell::Num(r.max_ratio),
+                ]);
+            }
+        };
+        let mut t = Table::new("compression ratios", &cols);
+        fill(&mut t, &self.rows);
+        let mut tables = vec![t];
+        if !self.extended.is_empty() {
+            let mut t = Table::new("extension codecs (HF, AD)", &cols);
+            fill(&mut t, &self.extended);
+            tables.push(t);
         }
-        vec![t]
+        tables
     }
 
     fn notes(&self) -> Vec<String> {
@@ -522,6 +575,62 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fig11_extension_rows_cover_every_cell() {
+        let report = fig11(&ctx(), &Runner::sequential(), &ScenarioFilter::all());
+        // 6 networks x 3 layouts x 2 extension codecs.
+        assert_eq!(report.extended.len(), 6 * 3 * 2);
+        for r in &report.extended {
+            assert!(
+                r.algorithm == Algorithm::Huff || r.algorithm == Algorithm::Adaptive,
+                "{:?}",
+                r.algorithm
+            );
+            assert!(r.avg_ratio > 0.5 && r.max_ratio >= r.avg_ratio);
+        }
+        // The adaptive picker stays competitive with the paper's best
+        // single codec on every cell.
+        for ext in report
+            .extended
+            .iter()
+            .filter(|r| r.algorithm == Algorithm::Adaptive)
+        {
+            let best = report
+                .rows
+                .iter()
+                .filter(|r| r.network == ext.network && r.layout == ext.layout)
+                .map(|r| r.avg_ratio)
+                .fold(f64::MIN, f64::max);
+            assert!(
+                ext.avg_ratio > 0.9 * best,
+                "{} {}: adaptive {} vs best {}",
+                ext.network,
+                ext.layout,
+                ext.avg_ratio,
+                best
+            );
+        }
+        // An algorithm filter that excludes the extensions empties the
+        // companion table without touching the paper rows.
+        let f = ScenarioFilter::all().algorithm(Algorithm::Zvc);
+        let report = fig11(&ctx(), &Runner::sequential(), &f);
+        assert!(report.extended.is_empty());
+        assert_eq!(report.rows.len(), 6 * 3);
+        assert_eq!(report.tables().len(), 1);
+        // The converse — extensions only — keeps the companion table even
+        // though no paper-grid scenario survives the filter.
+        let f = ScenarioFilter::all()
+            .network("AlexNet")
+            .algorithm(Algorithm::Adaptive);
+        let report = fig11(&ctx(), &Runner::sequential(), &f);
+        assert!(report.rows.is_empty());
+        assert_eq!(report.extended.len(), 3); // 3 layouts x 1 codec
+        assert!(report
+            .extended
+            .iter()
+            .all(|r| r.algorithm == Algorithm::Adaptive && r.network == "AlexNet"));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 mod cluster;
 mod datacenter;
 mod density;
+mod frontier;
 mod grid;
 mod inference;
 mod serving;
@@ -45,6 +46,7 @@ pub use density::{
     density_figure, density_figure_from_profile, fig04, fig05, fig06, fig07, DensityFigure,
     Fig04Report, Fig05Report, Fig06Report, Fig07Report, Fig7Data,
 };
+pub use frontier::{fig_frontier, FrontierReport, FrontierRow};
 pub use grid::{
     fig03, fig11, fig12, fig13, headline, Fig03Report, Fig11Report, Fig11Row, Fig12Report,
     Fig12Row, Fig13Report, Fig13Row, Fig3Row, Headline, PerfConfig,
@@ -168,6 +170,10 @@ pub const CATALOGUE: &[ExperimentInfo] = &[
         name: "fig_datacenter",
         title: "Datacenter scale: hierarchical fabric sweep and tenant churn",
     },
+    ExperimentInfo {
+        name: "fig_frontier",
+        title: "Ratio-vs-throughput frontier across the codec family",
+    },
 ];
 
 /// The catalogue's experiment names, in run order.
@@ -206,6 +212,7 @@ pub fn run(
         "serve_load" => Box::new(serving::serve_load(ctx)),
         "fig_inference" => Box::new(inference::fig_inference(ctx, runner, filter)),
         "fig_datacenter" => Box::new(datacenter::fig_datacenter(ctx, runner, filter)),
+        "fig_frontier" => Box::new(frontier::fig_frontier(ctx, runner, filter)),
         _ => return None,
     })
 }
@@ -218,7 +225,7 @@ mod tests {
     #[test]
     fn catalogue_names_are_unique_and_dispatchable() {
         let names = names();
-        assert_eq!(names.len(), 22);
+        assert_eq!(names.len(), 23);
         for (i, n) in names.iter().enumerate() {
             assert!(!names[..i].contains(n), "duplicate {n}");
         }

@@ -608,6 +608,12 @@ impl ScenarioFilter {
     pub fn matches_network(&self, name: &str) -> bool {
         self.networks.is_empty() || self.networks.iter().any(|n| n.eq_ignore_ascii_case(name))
     }
+
+    /// Whether the algorithm axis admits `algorithm` (for reports that
+    /// add codecs beyond a scenario set's own algorithm axis).
+    pub fn matches_algorithm(&self, algorithm: Algorithm) -> bool {
+        self.algorithms.is_empty() || self.algorithms.contains(&algorithm)
+    }
 }
 
 fn parse_network(s: &str) -> Result<String, String> {
@@ -637,7 +643,9 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
                 || format!("{a:?}").eq_ignore_ascii_case(&wanted)
         })
         .ok_or_else(|| {
-            format!("unknown algorithm {s:?} (expected rl|zv|zl|cs or rle|zvc|zlib|csc)")
+            format!(
+                "unknown algorithm {s:?} (expected rl|zv|zl|cs|hf|ad or rle|zvc|zlib|csc|huff|adaptive)"
+            )
         })
 }
 
@@ -1046,6 +1054,10 @@ mod tests {
             .scenarios()
             .iter()
             .all(|s| s.layout == Layout::Nchw && s.algorithm == Algorithm::Zvc));
+
+        // Every extended codec parses by label and by debug name.
+        let f = ScenarioFilter::parse(&["alg=rl,zvc,ZLIB,cs,hf,adaptive"]).unwrap();
+        assert_eq!(f.algorithms.len(), Algorithm::EXTENDED.len());
 
         assert!(ScenarioFilter::parse(&["bogus"]).is_err());
         assert!(ScenarioFilter::parse(&["k=v"]).is_err());

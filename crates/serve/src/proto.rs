@@ -71,6 +71,8 @@ fn algorithm_code(a: Algorithm) -> u8 {
         Algorithm::Zvc => 1,
         Algorithm::Zlib => 2,
         Algorithm::Csc => 3,
+        Algorithm::Huff => 4,
+        Algorithm::Adaptive => 5,
     }
 }
 
@@ -80,6 +82,8 @@ fn algorithm_from_code(c: u8) -> Option<Algorithm> {
         1 => Some(Algorithm::Zvc),
         2 => Some(Algorithm::Zlib),
         3 => Some(Algorithm::Csc),
+        4 => Some(Algorithm::Huff),
+        5 => Some(Algorithm::Adaptive),
         _ => None,
     }
 }
@@ -432,6 +436,36 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, FrameError> {
 mod tests {
     use super::*;
 
+    /// The wire codes are a cross-version protocol surface: a recorded
+    /// frame must decode identically forever, so every code is pinned by
+    /// value and the mapping must be collision-free and total over
+    /// [`Algorithm::EXTENDED`]. Extending the enum may only append codes.
+    #[test]
+    fn algorithm_wire_codes_are_pinned_and_collision_free() {
+        let pinned = [
+            (Algorithm::Rle, 0u8),
+            (Algorithm::Zvc, 1),
+            (Algorithm::Zlib, 2),
+            (Algorithm::Csc, 3),
+            (Algorithm::Huff, 4),
+            (Algorithm::Adaptive, 5),
+        ];
+        assert_eq!(
+            pinned.len(),
+            Algorithm::EXTENDED.len(),
+            "every algorithm must have a pinned wire code"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for (alg, code) in pinned {
+            assert!(Algorithm::EXTENDED.contains(&alg));
+            assert_eq!(algorithm_code(alg), code, "{alg} wire code moved");
+            assert_eq!(algorithm_from_code(code), Some(alg));
+            assert!(seen.insert(code), "wire code {code} assigned twice");
+        }
+        assert_eq!(algorithm_from_code(pinned.len() as u8), None);
+        assert_eq!(algorithm_from_code(u8::MAX), None);
+    }
+
     #[test]
     fn request_frames_roundtrip() {
         let reqs = [
@@ -512,8 +546,8 @@ mod tests {
         bad[3] = 7;
         assert_eq!(decode_request(&bad), Err(FrameError::BadKind(7)));
         let mut bad = wire;
-        bad[4] = 5;
-        assert_eq!(decode_request(&bad), Err(FrameError::BadAlgorithm(5)));
+        bad[4] = 6;
+        assert_eq!(decode_request(&bad), Err(FrameError::BadAlgorithm(6)));
     }
 
     #[test]

@@ -40,13 +40,13 @@ impl RatioTable {
         let mut ratios = HashMap::new();
         for layout in Layout::ALL {
             // One generator per layout so all algorithms see identical data.
-            for alg in Algorithm::ALL {
+            for alg in Algorithm::ACTIVATION {
                 ratios.insert((alg, layout), Vec::with_capacity(points));
             }
             for (i, &d) in densities.iter().enumerate() {
                 let mut gen = ActivationGen::seeded(seed.wrapping_add(i as u64));
                 let t = gen.generate(shape, layout, d);
-                for alg in Algorithm::ALL {
+                for alg in Algorithm::ACTIVATION {
                     let codec = alg.codec();
                     let stats = windowed::compress_stats(
                         &codec,
@@ -159,10 +159,31 @@ mod tests {
     #[test]
     fn ratios_decrease_with_density() {
         let t = table();
-        for alg in Algorithm::ALL {
+        for alg in Algorithm::ACTIVATION {
             let sparse = t.ratio(alg, Layout::Nchw, 0.1);
             let dense = t.ratio(alg, Layout::Nchw, 0.9);
             assert!(sparse > dense, "{alg}: {sparse} vs {dense}");
+        }
+    }
+
+    #[test]
+    fn adaptive_tracks_the_best_activation_codec() {
+        // The per-window picker can lose a little to a whole-stream codec
+        // (per-window container overhead) but must stay within a few
+        // percent of the best single codec at every grid point.
+        let t = table();
+        for layout in Layout::ALL {
+            for &d in &[0.1, 0.3, 0.5, 0.8] {
+                let best = [Algorithm::Rle, Algorithm::Zvc, Algorithm::Zlib]
+                    .into_iter()
+                    .map(|a| t.ratio(a, layout, d))
+                    .fold(f64::MIN, f64::max);
+                let ad = t.ratio(Algorithm::Adaptive, layout, d);
+                assert!(
+                    ad > 0.93 * best,
+                    "{layout:?} d={d}: adaptive {ad} vs best {best}"
+                );
+            }
         }
     }
 
